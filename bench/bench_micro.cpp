@@ -1,0 +1,210 @@
+// Micro-benchmarks (google-benchmark) for the primitives on JWINS' hot path:
+// DWT/IDWT, FFT, TopK, Elias index coding, the float codec, payload
+// serialization, partial averaging, and one CNN/LSTM training step.
+
+#include <benchmark/benchmark.h>
+
+#include <random>
+
+#include "compress/elias.hpp"
+#include "compress/float_codec.hpp"
+#include "compress/topk.hpp"
+#include "core/averaging.hpp"
+#include "core/sparse_payload.hpp"
+#include "dwt/dwt.hpp"
+#include "dwt/fft.hpp"
+#include "nn/models.hpp"
+#include "nn/sgd.hpp"
+
+namespace {
+
+using namespace jwins;
+
+std::vector<float> random_floats(std::size_t n, unsigned seed) {
+  std::mt19937 rng(seed);
+  std::normal_distribution<float> dist(0.0f, 1.0f);
+  std::vector<float> out(n);
+  for (float& v : out) v = dist(rng);
+  return out;
+}
+
+void BM_DwtForward(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const dwt::DwtPlan plan(dwt::sym2(), n, 4);
+  const auto x = random_floats(n, 1);
+  std::vector<float> coeffs(plan.coeff_length());
+  for (auto _ : state) {
+    plan.forward_into(x, coeffs);
+    benchmark::DoNotOptimize(coeffs.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * n);
+}
+BENCHMARK(BM_DwtForward)->Arg(1 << 10)->Arg(1 << 14)->Arg(1 << 18);
+
+void BM_DwtInverse(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const dwt::DwtPlan plan(dwt::sym2(), n, 4);
+  const auto coeffs = plan.forward(random_floats(n, 2));
+  std::vector<float> out(n);
+  for (auto _ : state) {
+    plan.inverse_into(coeffs, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * n);
+}
+BENCHMARK(BM_DwtInverse)->Arg(1 << 10)->Arg(1 << 14)->Arg(1 << 18);
+
+void BM_FftReal(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const auto x = random_floats(n, 3);
+  for (auto _ : state) {
+    auto spectrum = dwt::fft_real(x);
+    benchmark::DoNotOptimize(spectrum.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * n);
+}
+BENCHMARK(BM_FftReal)->Arg(1 << 10)->Arg(1 << 14);
+
+void BM_TopKIndices(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const auto x = random_floats(n, 4);
+  for (auto _ : state) {
+    auto idx = compress::topk_indices(x, n / 10);
+    benchmark::DoNotOptimize(idx.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * n);
+}
+BENCHMARK(BM_TopKIndices)->Arg(1 << 12)->Arg(1 << 16)->Arg(1 << 20);
+
+void BM_EliasEncodeIndices(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const auto x = random_floats(n, 5);
+  const auto indices = compress::topk_indices(x, n / 10);
+  for (auto _ : state) {
+    auto bytes = compress::encode_index_gaps(indices);
+    benchmark::DoNotOptimize(bytes.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(indices.size()));
+}
+BENCHMARK(BM_EliasEncodeIndices)->Arg(1 << 12)->Arg(1 << 16);
+
+void BM_EliasDecodeIndices(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const auto x = random_floats(n, 6);
+  const auto indices = compress::topk_indices(x, n / 10);
+  const auto bytes = compress::encode_index_gaps(indices);
+  for (auto _ : state) {
+    auto back = compress::decode_index_gaps(bytes, indices.size());
+    benchmark::DoNotOptimize(back.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(indices.size()));
+}
+BENCHMARK(BM_EliasDecodeIndices)->Arg(1 << 12)->Arg(1 << 16);
+
+void BM_FloatCodecCompress(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const auto x = random_floats(n, 7);
+  for (auto _ : state) {
+    auto bytes = compress::compress_floats(x);
+    benchmark::DoNotOptimize(bytes.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n * sizeof(float)));
+}
+BENCHMARK(BM_FloatCodecCompress)->Arg(1 << 12)->Arg(1 << 16);
+
+void BM_FloatCodecDecompress(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const auto x = random_floats(n, 8);
+  const auto bytes = compress::compress_floats(x);
+  for (auto _ : state) {
+    auto back = compress::decompress_floats(bytes, n);
+    benchmark::DoNotOptimize(back.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n * sizeof(float)));
+}
+BENCHMARK(BM_FloatCodecDecompress)->Arg(1 << 12)->Arg(1 << 16);
+
+void BM_PayloadEncodeDecode(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  core::SparsePayload payload;
+  payload.vector_length = static_cast<std::uint32_t>(n);
+  const auto x = random_floats(n, 9);
+  payload.indices = compress::topk_indices(x, n / 10);
+  payload.values = compress::gather(x, payload.indices);
+  for (auto _ : state) {
+    const auto encoded = core::encode_payload(payload, {});
+    auto back = core::decode_payload(encoded.body);
+    benchmark::DoNotOptimize(back.values.data());
+  }
+}
+BENCHMARK(BM_PayloadEncodeDecode)->Arg(1 << 12)->Arg(1 << 16);
+
+void BM_PartialAverage(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  auto own = random_floats(n, 10);
+  std::vector<core::SparsePayload> payloads(4);
+  std::vector<core::WeightedContribution> contribs;
+  for (std::size_t j = 0; j < 4; ++j) {
+    payloads[j].vector_length = static_cast<std::uint32_t>(n);
+    payloads[j].indices = compress::random_indices(n, n / 3, j + 1);
+    payloads[j].values = random_floats(n / 3, 11 + static_cast<unsigned>(j));
+    contribs.push_back({0.2, &payloads[j]});
+  }
+  for (auto _ : state) {
+    auto x = own;
+    core::partial_average(x, 0.2, contribs);
+    benchmark::DoNotOptimize(x.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * n);
+}
+BENCHMARK(BM_PartialAverage)->Arg(1 << 12)->Arg(1 << 16);
+
+void BM_CnnTrainStep(benchmark::State& state) {
+  nn::CnnClassifier::Config cfg;
+  nn::CnnClassifier model(cfg, 1);
+  nn::Sgd opt(model.parameters(), model.gradients(), {.learning_rate = 0.05f});
+  std::mt19937 rng(2);
+  nn::Batch batch;
+  batch.x = tensor::Tensor::normal({16, 3, 8, 8}, 0.0f, 1.0f, rng);
+  batch.labels.resize(16);
+  for (std::size_t i = 0; i < 16; ++i) batch.labels[i] = static_cast<int>(i % 10);
+  for (auto _ : state) {
+    model.zero_grad();
+    benchmark::DoNotOptimize(model.loss_and_grad(batch));
+    opt.step();
+  }
+}
+BENCHMARK(BM_CnnTrainStep);
+
+void BM_LstmTrainStep(benchmark::State& state) {
+  nn::CharLstm::Config cfg;
+  cfg.vocab = 30;
+  cfg.embedding_dim = 12;
+  cfg.hidden = 24;
+  cfg.layers = 2;
+  nn::CharLstm model(cfg, 1);
+  nn::Sgd opt(model.parameters(), model.gradients(), {.learning_rate = 0.05f});
+  nn::Batch batch;
+  batch.x = tensor::Tensor({8, 16});
+  batch.labels.resize(8 * 16);
+  std::mt19937 rng(3);
+  std::uniform_int_distribution<int> tok(0, 29);
+  for (std::size_t i = 0; i < batch.x.size(); ++i) {
+    batch.x[i] = static_cast<float>(tok(rng));
+    batch.labels[i] = tok(rng);
+  }
+  for (auto _ : state) {
+    model.zero_grad();
+    benchmark::DoNotOptimize(model.loss_and_grad(batch));
+    opt.step();
+  }
+}
+BENCHMARK(BM_LstmTrainStep);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,70 @@
+// Shared helpers for the figure-reproduction benches: tiny --key=value flag
+// parsing (each bench runs standalone with sensible defaults but can be
+// scaled up to paper size), and common experiment plumbing.
+#pragma once
+
+#include <cstdlib>
+#include <iostream>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "graph/graph.hpp"
+#include "sim/experiment.hpp"
+#include "sim/report.hpp"
+#include "sim/workloads.hpp"
+
+namespace jwins::bench {
+
+class Flags {
+ public:
+  Flags(int argc, char** argv) {
+    for (int i = 1; i < argc; ++i) {
+      std::string arg = argv[i];
+      if (arg.rfind("--", 0) != 0) continue;
+      arg = arg.substr(2);
+      const auto eq = arg.find('=');
+      if (eq == std::string::npos) {
+        values_[arg] = "1";
+      } else {
+        values_[arg.substr(0, eq)] = arg.substr(eq + 1);
+      }
+    }
+  }
+
+  std::size_t get(const std::string& key, std::size_t fallback) const {
+    const auto it = values_.find(key);
+    return it == values_.end() ? fallback : std::stoul(it->second);
+  }
+
+  double get(const std::string& key, double fallback) const {
+    const auto it = values_.find(key);
+    return it == values_.end() ? fallback : std::stod(it->second);
+  }
+
+  std::string get(const std::string& key, const std::string& fallback) const {
+    const auto it = values_.find(key);
+    return it == values_.end() ? fallback : it->second;
+  }
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+inline std::unique_ptr<graph::TopologyProvider> static_regular(
+    std::size_t nodes, std::size_t degree, unsigned seed) {
+  std::mt19937 rng(seed);
+  return std::make_unique<graph::StaticTopology>(
+      graph::random_regular(nodes, degree, rng));
+}
+
+/// Degree schedule matching the paper: 4-regular at the base scale, growing
+/// with node count (96:4, 192:5, 288:5, 384:6 -> here scaled down).
+inline std::size_t degree_for_nodes(std::size_t nodes) {
+  if (nodes >= 384) return 6;
+  if (nodes >= 192) return 5;
+  if (nodes >= 16) return 4;
+  return 3;
+}
+
+}  // namespace jwins::bench

@@ -1,0 +1,73 @@
+// Scenario: a P2P network with membership churn, modeled as a topology that
+// is re-randomized every round (the paper's "dynamic topology" setting,
+// Figure 7). JWINS is stateless across neighbors, so it keeps learning;
+// CHOCO's per-neighbor error-feedback state breaks under churn — we
+// demonstrate both.
+//
+//   ./examples/churn_dynamic_topology [--nodes=16] [--rounds=80]
+
+#include <iomanip>
+#include <iostream>
+#include <string>
+
+#include "graph/graph.hpp"
+#include "sim/experiment.hpp"
+#include "sim/report.hpp"
+#include "sim/workloads.hpp"
+
+int main(int argc, char** argv) {
+  using namespace jwins;
+
+  std::size_t nodes = 16, rounds = 80;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--nodes=", 0) == 0) nodes = std::stoul(arg.substr(8));
+    if (arg.rfind("--rounds=", 0) == 0) rounds = std::stoul(arg.substr(9));
+  }
+
+  const sim::Workload workload = sim::make_femnist_like(nodes, /*seed=*/11);
+
+  auto run = [&](sim::Algorithm algorithm, bool dynamic) {
+    sim::ExperimentConfig config;
+    config.algorithm = algorithm;
+    config.rounds = rounds;
+    config.local_steps = 2;
+    config.sgd.learning_rate = 0.05f;
+    config.eval_every = rounds / 8;
+    config.threads = 4;
+    config.choco.gamma = 0.5;
+    config.choco.fraction = 0.34;
+    std::unique_ptr<graph::TopologyProvider> topology;
+    if (dynamic) {
+      topology = std::make_unique<graph::DynamicRegularTopology>(nodes, 4, 11);
+    } else {
+      std::mt19937 rng(11);
+      topology = std::make_unique<graph::StaticTopology>(
+          graph::random_regular(nodes, 4, rng));
+    }
+    sim::Experiment experiment(config, workload.model_factory, *workload.train,
+                               workload.partition, *workload.test,
+                               std::move(topology));
+    return experiment.run();
+  };
+
+  std::cout << "Handwriting recognition under churn (" << nodes
+            << " nodes, neighbors re-randomized every round)\n\n";
+  std::cout << std::left << std::setw(26) << "SETTING" << std::setw(12)
+            << "ACCURACY" << "LOSS\n";
+  auto row = [](const char* label, const sim::ExperimentResult& r) {
+    std::cout << std::left << std::setw(26) << label << std::setw(12)
+              << (std::to_string(r.final_accuracy * 100.0).substr(0, 5) + "%")
+              << std::fixed << std::setprecision(3) << r.final_loss << "\n";
+  };
+  row("jwins / static", run(sim::Algorithm::kJwins, false));
+  row("jwins / dynamic", run(sim::Algorithm::kJwins, true));
+  row("full-sharing / static", run(sim::Algorithm::kFullSharing, false));
+  row("full-sharing / dynamic", run(sim::Algorithm::kFullSharing, true));
+  row("choco / static", run(sim::Algorithm::kChoco, false));
+  row("choco / dynamic", run(sim::Algorithm::kChoco, true));
+  std::cout << "\nDynamic topologies help the stateless algorithms (better "
+               "mixing) and hurt CHOCO,\nwhose error-feedback state assumes "
+               "fixed neighbors — exactly the paper's Figure 7 story.\n";
+  return 0;
+}

@@ -1,0 +1,71 @@
+// Scenario: a practitioner choosing a communication-efficient DL algorithm
+// for an edge deployment. Runs all four algorithms on the same non-IID
+// recommendation workload (MovieLens stand-in) and prints an
+// accuracy-vs-bytes decision table.
+//
+//   ./examples/compare_algorithms [--nodes=16] [--rounds=60]
+
+#include <iomanip>
+#include <iostream>
+#include <string>
+
+#include "graph/graph.hpp"
+#include "sim/experiment.hpp"
+#include "sim/report.hpp"
+#include "sim/workloads.hpp"
+
+int main(int argc, char** argv) {
+  using namespace jwins;
+
+  std::size_t nodes = 16, rounds = 60;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--nodes=", 0) == 0) nodes = std::stoul(arg.substr(8));
+    if (arg.rfind("--rounds=", 0) == 0) rounds = std::stoul(arg.substr(9));
+  }
+
+  const sim::Workload workload = sim::make_movielens_like(nodes, /*seed=*/7);
+
+  auto run = [&](sim::Algorithm algorithm) {
+    sim::ExperimentConfig config;
+    config.algorithm = algorithm;
+    config.rounds = rounds;
+    config.local_steps = 2;
+    config.sgd.learning_rate = 0.05f;
+    config.eval_every = rounds / 6;
+    config.threads = 4;
+    config.random_sampling_fraction = 0.37;
+    config.choco.gamma = 0.5;
+    config.choco.fraction = 0.34;
+    std::mt19937 rng(7);
+    auto topology = std::make_unique<graph::StaticTopology>(
+        graph::random_regular(nodes, 4, rng));
+    sim::Experiment experiment(config, workload.model_factory, *workload.train,
+                               workload.partition, *workload.test,
+                               std::move(topology));
+    return experiment.run();
+  };
+
+  std::cout << "Algorithm comparison on the recommendation workload ("
+            << nodes << " nodes, " << rounds << " rounds)\n";
+  std::cout << "accuracy = fraction of predictions within 0.5 stars\n\n";
+  std::cout << std::left << std::setw(18) << "ALGORITHM" << std::setw(12)
+            << "ACCURACY" << std::setw(10) << "LOSS" << std::setw(14)
+            << "DATA/NODE" << "SIM-TIME\n";
+  for (const auto algorithm :
+       {sim::Algorithm::kFullSharing, sim::Algorithm::kRandomSampling,
+        sim::Algorithm::kJwins, sim::Algorithm::kChoco}) {
+    const auto result = run(algorithm);
+    std::cout << std::left << std::setw(18) << sim::algorithm_name(algorithm)
+              << std::setw(12)
+              << (std::to_string(result.final_accuracy * 100.0).substr(0, 5) + "%")
+              << std::setw(10) << std::fixed << std::setprecision(3)
+              << result.final_loss << std::setw(14)
+              << sim::format_bytes(result.series.back().avg_bytes_per_node)
+              << sim::format_seconds(result.sim_seconds) << "\n";
+  }
+  std::cout << "\nReading the table: JWINS should sit near full-sharing "
+               "accuracy at a fraction of the bytes;\nrandom sampling "
+               "converges slower at the same budget.\n";
+  return 0;
+}

@@ -1,0 +1,95 @@
+// Scenario: training next-character models on edge devices behind a
+// constrained uplink (the paper's motivating setting). The communication
+// budget is capped at 10% of full-sharing; JWINS runs with the paper's
+// budgeted two-point alpha distribution and is compared against CHOCO-SGD
+// under the same cap, on the stacked-LSTM Shakespeare stand-in.
+//
+//   ./examples/low_budget_edge [--nodes=12] [--rounds=40]
+
+#include <iomanip>
+#include <iostream>
+#include <string>
+
+#include "core/cutoff.hpp"
+#include "graph/graph.hpp"
+#include "sim/experiment.hpp"
+#include "sim/report.hpp"
+#include "sim/workloads.hpp"
+
+int main(int argc, char** argv) {
+  using namespace jwins;
+
+  std::size_t nodes = 12, rounds = 40;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--nodes=", 0) == 0) nodes = std::stoul(arg.substr(8));
+    if (arg.rfind("--rounds=", 0) == 0) rounds = std::stoul(arg.substr(9));
+  }
+
+  const sim::Workload workload = sim::make_shakespeare_like(nodes, /*seed=*/3);
+
+  // Slow edge links: 10 Mbit/s, 20 ms latency — the regime where the
+  // communication budget decides wall-clock time.
+  net::LinkModel link;
+  link.bandwidth_bytes_per_sec = 1.25e6;
+  link.latency_sec = 20e-3;
+
+  auto base_config = [&](sim::Algorithm algorithm) {
+    sim::ExperimentConfig config;
+    config.algorithm = algorithm;
+    config.rounds = rounds;
+    config.local_steps = workload.suggested_local_steps;
+    config.sgd.learning_rate = workload.suggested_lr;
+    config.eval_every = rounds / 5;
+    config.eval_sample_limit = 48;
+    config.threads = 4;
+    config.link = link;
+    return config;
+  };
+  auto topo = [&] {
+    std::mt19937 rng(3);
+    return std::make_unique<graph::StaticTopology>(
+        graph::random_regular(nodes, 4, rng));
+  };
+
+  // JWINS at a 10% budget: p(alpha=100%) = 0.05, p(alpha=5%) = 0.95.
+  auto jwins_config = base_config(sim::Algorithm::kJwins);
+  jwins_config.jwins.cutoff = core::RandomizedCutoff::two_point(0.05, 0.05);
+  sim::Experiment jwins_exp(jwins_config, workload.model_factory,
+                            *workload.train, workload.partition,
+                            *workload.test, topo());
+  const auto jwins_result = jwins_exp.run();
+
+  // CHOCO at the same cap (TopK 10%, the paper's tuned gamma for 10%).
+  auto choco_config = base_config(sim::Algorithm::kChoco);
+  choco_config.choco.fraction = 0.10;
+  choco_config.choco.gamma = 0.1;
+  sim::Experiment choco_exp(choco_config, workload.model_factory,
+                            *workload.train, workload.partition,
+                            *workload.test, topo());
+  const auto choco_result = choco_exp.run();
+
+  // Full-sharing reference (no budget), for context.
+  sim::Experiment full_exp(base_config(sim::Algorithm::kFullSharing),
+                           workload.model_factory, *workload.train,
+                           workload.partition, *workload.test, topo());
+  const auto full_result = full_exp.run();
+
+  std::cout << "Next-character prediction on " << nodes
+            << " edge nodes, 10% communication budget, " << rounds
+            << " rounds\n\n";
+  auto row = [](const char* label, const sim::ExperimentResult& r) {
+    std::cout << "  " << std::left << std::setw(22) << label
+              << "per-char acc=" << std::fixed << std::setprecision(1)
+              << r.final_accuracy * 100.0 << "%  data/node="
+              << sim::format_bytes(r.series.back().avg_bytes_per_node)
+              << "  wall-clock=" << sim::format_seconds(r.sim_seconds) << "\n";
+  };
+  row("jwins (10% budget)", jwins_result);
+  row("choco (10% budget)", choco_result);
+  row("full-sharing (no cap)", full_result);
+  std::cout << "\nOn slow links the budgeted algorithms finish the same "
+               "rounds far sooner than\nfull-sharing, and JWINS holds more "
+               "accuracy than CHOCO at the same cap.\n";
+  return 0;
+}

@@ -1,0 +1,116 @@
+#include "algo/choco.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "compress/quantize.hpp"
+#include "compress/topk.hpp"
+
+namespace jwins::algo {
+
+ChocoNode::ChocoNode(std::uint32_t rank,
+                     std::unique_ptr<nn::SupervisedModel> model,
+                     data::Sampler sampler, TrainConfig config, Options options)
+    : DlNode(rank, std::move(model), std::move(sampler), config),
+      options_(options) {
+  if (options_.fraction <= 0.0 || options_.fraction > 1.0) {
+    throw std::invalid_argument("ChocoNode: fraction must be in (0, 1]");
+  }
+  // x̂ and s start at zero; the first rounds "fill in" the public copies,
+  // matching the CHOCO initialization x̂_i^0 = 0.
+  x_hat_.assign(param_count(), 0.0f);
+  s_.assign(param_count(), 0.0f);
+}
+
+void ChocoNode::share(net::Network& network, const graph::Graph& g,
+                      const graph::MixingWeights& /*weights*/,
+                      std::uint32_t round) {
+  const std::vector<float> x = flat_params();
+  const std::size_t n = x.size();
+  std::vector<float> diff(n);
+  for (std::size_t i = 0; i < n; ++i) diff[i] = x[i] - x_hat_[i];
+
+  net::Message msg;
+  if (options_.compressor == Compressor::kQsgd) {
+    // Dense stochastic quantization: the node must apply the *same* lossy
+    // values it broadcast, so own_values_ holds the dequantized vector.
+    const compress::QuantizedVector q =
+        compress::qsgd_quantize(diff, options_.qsgd_levels, rng());
+    own_indices_.clear();  // dense
+    own_values_ = compress::qsgd_dequantize(q);
+    msg.sender = rank();
+    msg.round = round;
+    msg.body = compress::qsgd_serialize(q);
+    msg.metadata_bytes = 12;  // norm + levels + count header
+  } else {
+    const std::size_t k = std::max<std::size_t>(
+        1, static_cast<std::size_t>(options_.fraction * static_cast<double>(n) + 0.5));
+    own_indices_ = compress::topk_indices(diff, k);
+    own_values_ = compress::gather(diff, own_indices_);
+
+    core::SparsePayload payload;
+    payload.vector_length = static_cast<std::uint32_t>(n);
+    payload.indices = own_indices_;
+    payload.values = own_values_;
+    core::PayloadOptions msg_options;
+    msg_options.index_encoding = options_.index_encoding;
+    msg_options.value_encoding = options_.value_encoding;
+    msg = core::make_message(rank(), round, payload, msg_options);
+  }
+  for (std::size_t j : g.neighbors(rank())) {
+    network.send(static_cast<std::uint32_t>(j), msg);
+  }
+}
+
+void ChocoNode::aggregate(net::Network& network, const graph::Graph& g,
+                          const graph::MixingWeights& weights,
+                          std::uint32_t round) {
+  (void)round;
+  const std::vector<net::Message> inbox = network.drain(rank());
+  const double w_self = weights.self_weight[rank()];
+  // x̂_i += q_i and s += w_ii * q_i (own contribution).
+  if (own_indices_.empty() && !own_values_.empty()) {  // dense (qsgd)
+    for (std::size_t i = 0; i < own_values_.size(); ++i) {
+      x_hat_[i] += own_values_[i];
+      s_[i] += static_cast<float>(w_self * own_values_[i]);
+    }
+  } else {
+    for (std::size_t i = 0; i < own_indices_.size(); ++i) {
+      const std::uint32_t idx = own_indices_[i];
+      x_hat_[idx] += own_values_[i];
+      s_[idx] += static_cast<float>(w_self * own_values_[i]);
+    }
+  }
+  // s += Σ_j w_ij q_j (neighbor contributions).
+  for (const net::Message& msg : inbox) {
+    const double w = weight_of(g, weights, rank(), msg.sender);
+    if (options_.compressor == Compressor::kQsgd) {
+      const auto q = compress::qsgd_deserialize(msg.body);
+      const std::vector<float> values = compress::qsgd_dequantize(q);
+      if (values.size() != s_.size()) {
+        throw std::out_of_range("ChocoNode: quantized vector length mismatch");
+      }
+      for (std::size_t i = 0; i < values.size(); ++i) {
+        s_[i] += static_cast<float>(w * values[i]);
+      }
+    } else {
+      const core::SparsePayload payload = core::decode_payload(msg.body);
+      for (std::size_t i = 0; i < payload.indices.size(); ++i) {
+        const std::uint32_t idx = payload.indices[i];
+        if (idx >= s_.size()) {
+          throw std::out_of_range("ChocoNode: received index out of range");
+        }
+        s_[idx] += static_cast<float>(w * payload.values[i]);
+      }
+    }
+  }
+  // Consensus step: x += γ (s - x̂) where s - x̂ = Σ_j w_ij (x̂_j - x̂_i).
+  std::vector<float> x = flat_params();
+  const float gamma = static_cast<float>(options_.gamma);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    x[i] += gamma * (s_[i] - x_hat_[i]);
+  }
+  set_flat_params(x);
+}
+
+}  // namespace jwins::algo

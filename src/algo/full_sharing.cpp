@@ -1,0 +1,48 @@
+#include "algo/full_sharing.hpp"
+
+#include "core/averaging.hpp"
+
+namespace jwins::algo {
+
+FullSharingNode::FullSharingNode(std::uint32_t rank,
+                                 std::unique_ptr<nn::SupervisedModel> model,
+                                 data::Sampler sampler, TrainConfig config,
+                                 core::ValueEncoding value_encoding)
+    : DlNode(rank, std::move(model), std::move(sampler), config),
+      value_encoding_(value_encoding) {}
+
+void FullSharingNode::share(net::Network& network, const graph::Graph& g,
+                            const graph::MixingWeights& /*weights*/,
+                            std::uint32_t round) {
+  core::SparsePayload payload;
+  payload.values = flat_params();
+  payload.vector_length = static_cast<std::uint32_t>(payload.values.size());
+  core::PayloadOptions options;
+  options.index_encoding = core::IndexEncoding::kDense;
+  options.value_encoding = value_encoding_;
+  const net::Message msg = core::make_message(rank(), round, payload, options);
+  for (std::size_t j : g.neighbors(rank())) {
+    network.send(static_cast<std::uint32_t>(j), msg);
+  }
+}
+
+void FullSharingNode::aggregate(net::Network& network, const graph::Graph& g,
+                                const graph::MixingWeights& weights,
+                                std::uint32_t round) {
+  (void)round;
+  const std::vector<net::Message> inbox = network.drain(rank());
+  std::vector<core::SparsePayload> payloads;
+  payloads.reserve(inbox.size());
+  std::vector<core::WeightedContribution> contributions;
+  contributions.reserve(inbox.size());
+  for (const net::Message& msg : inbox) {
+    payloads.push_back(core::decode_payload(msg.body));
+    contributions.push_back(
+        {weight_of(g, weights, rank(), msg.sender), &payloads.back()});
+  }
+  std::vector<float> x = flat_params();
+  core::partial_average(x, weights.self_weight[rank()], contributions);
+  set_flat_params(x);
+}
+
+}  // namespace jwins::algo

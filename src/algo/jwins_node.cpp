@@ -1,0 +1,91 @@
+#include "algo/jwins_node.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "compress/topk.hpp"
+#include "core/averaging.hpp"
+
+namespace jwins::algo {
+
+JwinsNode::JwinsNode(std::uint32_t rank,
+                     std::unique_ptr<nn::SupervisedModel> model,
+                     data::Sampler sampler, TrainConfig config, Options options)
+    : DlNode(rank, std::move(model), std::move(sampler), config),
+      options_(std::move(options)),
+      ranker_(param_count(), options_.ranker) {
+  x0_ = flat_params();
+  band_share_counts_.assign(ranker_.band_count(), 0);
+}
+
+void JwinsNode::share(net::Network& network, const graph::Graph& g,
+                      const graph::MixingWeights& /*weights*/,
+                      std::uint32_t round) {
+  x_tau_ = flat_params();
+  // Eq. (3): V' = V + T(x^{t,tau} - x^{t,0}).
+  const std::span<const float> scores =
+      ranker_.accumulate_round_change(x0_, x_tau_);
+  // Randomized cut-off picks this round's sharing fraction independently.
+  last_alpha_ = options_.cutoff.sample(rng());
+  const std::size_t coeff_len = ranker_.coeff_length();
+  own_coeffs_ = ranker_.transform(x_tau_);
+
+  core::SparsePayload payload;
+  payload.vector_length = static_cast<std::uint32_t>(coeff_len);
+  core::PayloadOptions msg_options;
+  msg_options.value_encoding = options_.value_encoding;
+  if (last_alpha_ >= 1.0) {
+    // Full share: dense wavelet vector, no index metadata.
+    sent_dense_ = true;
+    sent_indices_.clear();
+    payload.values = own_coeffs_;
+    msg_options.index_encoding = core::IndexEncoding::kDense;
+  } else {
+    sent_dense_ = false;
+    const std::size_t k = std::max<std::size_t>(
+        1, static_cast<std::size_t>(last_alpha_ * static_cast<double>(coeff_len) + 0.5));
+    sent_indices_ = compress::topk_indices(scores, k);
+    for (std::uint32_t idx : sent_indices_) {
+      ++band_share_counts_[ranker_.band_of(idx)];
+    }
+    payload.indices = sent_indices_;
+    payload.values = compress::gather(own_coeffs_, sent_indices_);
+    msg_options.index_encoding = options_.index_encoding;
+  }
+  const net::Message msg = core::make_message(rank(), round, payload, msg_options);
+  for (std::size_t j : g.neighbors(rank())) {
+    network.send(static_cast<std::uint32_t>(j), msg);
+  }
+}
+
+void JwinsNode::aggregate(net::Network& network, const graph::Graph& g,
+                          const graph::MixingWeights& weights,
+                          std::uint32_t round) {
+  (void)round;
+  const std::vector<net::Message> inbox = network.drain(rank());
+  std::vector<core::SparsePayload> payloads;
+  payloads.reserve(inbox.size());
+  std::vector<core::WeightedContribution> contributions;
+  contributions.reserve(inbox.size());
+  for (const net::Message& msg : inbox) {
+    payloads.push_back(core::decode_payload(msg.body));
+    contributions.push_back(
+        {weight_of(g, weights, rank(), msg.sender), &payloads.back()});
+  }
+  // Algorithm 1, line 10: average received wavelet coefficients with our own.
+  core::partial_average(own_coeffs_, weights.self_weight[rank()], contributions);
+  // Line 11: invert back to the parameter domain.
+  const std::vector<float> x_next = ranker_.inverse(own_coeffs_);
+  set_flat_params(x_next);
+  // Line 12 / eq. (4): fold in the averaging change, reset shared entries.
+  if (sent_dense_) {
+    std::vector<std::uint32_t> all(ranker_.coeff_length());
+    std::iota(all.begin(), all.end(), 0u);
+    ranker_.finish_round(x_tau_, x_next, all);
+  } else {
+    ranker_.finish_round(x_tau_, x_next, sent_indices_);
+  }
+  x0_ = x_next;
+}
+
+}  // namespace jwins::algo

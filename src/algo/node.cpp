@@ -1,0 +1,47 @@
+#include "algo/node.hpp"
+
+#include "nn/flat.hpp"
+
+namespace jwins::algo {
+
+DlNode::DlNode(std::uint32_t rank, std::unique_ptr<nn::SupervisedModel> model,
+               data::Sampler sampler, TrainConfig config)
+    : rank_(rank),
+      model_(std::move(model)),
+      sampler_(std::move(sampler)),
+      config_(config),
+      optimizer_(model_->parameters(), model_->gradients(), config.sgd),
+      rng_(0xC0FFEEu + 0x9E3779B97F4A7C15ull * (rank + 1)) {}
+
+float DlNode::local_train() {
+  double total = 0.0;
+  for (std::size_t s = 0; s < config_.local_steps; ++s) {
+    const nn::Batch batch = sampler_.next();
+    model_->zero_grad();
+    total += model_->loss_and_grad(batch);
+    optimizer_.step();
+  }
+  return static_cast<float>(total / static_cast<double>(config_.local_steps));
+}
+
+std::vector<float> DlNode::flat_params() {
+  return nn::to_flat(model_->parameters());
+}
+
+void DlNode::set_flat_params(std::span<const float> flat) {
+  nn::copy_from_flat(model_->parameters(), flat);
+}
+
+std::size_t DlNode::param_count() { return model_->parameter_count(); }
+
+double DlNode::weight_of(const graph::Graph& g,
+                         const graph::MixingWeights& weights,
+                         std::uint32_t receiver, std::uint32_t sender) {
+  const auto& nbrs = g.neighbors(receiver);
+  for (std::size_t k = 0; k < nbrs.size(); ++k) {
+    if (nbrs[k] == sender) return weights.neighbor_weight[receiver][k];
+  }
+  return 0.0;
+}
+
+}  // namespace jwins::algo

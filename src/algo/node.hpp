@@ -1,0 +1,80 @@
+// Decentralized-learning node framework.
+//
+// Every algorithm follows the paper's train-communicate-aggregate round
+// structure (§II-A): the engine calls local_train() on every node, then
+// share() (messages go out through the simulated network), then aggregate()
+// (mailboxes are drained and models merged). Algorithms differ only in what
+// share()/aggregate() put on the wire — JWINS' claim is precisely that it
+// is independent of the rest of the DL stack.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <random>
+
+#include "data/dataset.hpp"
+#include "graph/graph.hpp"
+#include "net/network.hpp"
+#include "nn/model.hpp"
+#include "nn/sgd.hpp"
+
+namespace jwins::algo {
+
+struct TrainConfig {
+  std::size_t local_steps = 1;  ///< tau in the paper
+  nn::Sgd::Options sgd;
+};
+
+class DlNode {
+ public:
+  DlNode(std::uint32_t rank, std::unique_ptr<nn::SupervisedModel> model,
+         data::Sampler sampler, TrainConfig config);
+  virtual ~DlNode() = default;
+
+  DlNode(const DlNode&) = delete;
+  DlNode& operator=(const DlNode&) = delete;
+
+  std::uint32_t rank() const noexcept { return rank_; }
+
+  /// Runs tau mini-batch SGD steps on local data. Returns mean train loss.
+  float local_train();
+
+  /// Sends this round's messages to the neighbors in `g`.
+  virtual void share(net::Network& network, const graph::Graph& g,
+                     const graph::MixingWeights& weights,
+                     std::uint32_t round) = 0;
+
+  /// Drains the mailbox and merges neighbor contributions into the model.
+  virtual void aggregate(net::Network& network, const graph::Graph& g,
+                         const graph::MixingWeights& weights,
+                         std::uint32_t round) = 0;
+
+  nn::SupervisedModel& model() noexcept { return *model_; }
+
+  /// Flat view of the current model parameters.
+  std::vector<float> flat_params();
+  void set_flat_params(std::span<const float> flat);
+  std::size_t param_count();
+
+  /// Adjusts the local optimizer's step size (for learning-rate schedules).
+  void set_learning_rate(float lr) noexcept { optimizer_.set_learning_rate(lr); }
+  float learning_rate() const noexcept { return optimizer_.learning_rate(); }
+
+ protected:
+  /// Mixing weight w_{rank,sender}; returns 0 for non-neighbors.
+  static double weight_of(const graph::Graph& g,
+                          const graph::MixingWeights& weights,
+                          std::uint32_t receiver, std::uint32_t sender);
+
+  std::mt19937_64& rng() noexcept { return rng_; }
+
+ private:
+  std::uint32_t rank_;
+  std::unique_ptr<nn::SupervisedModel> model_;
+  data::Sampler sampler_;
+  TrainConfig config_;
+  nn::Sgd optimizer_;
+  std::mt19937_64 rng_;
+};
+
+}  // namespace jwins::algo

@@ -1,0 +1,67 @@
+#include "algo/random_sampling.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "compress/topk.hpp"
+#include "core/averaging.hpp"
+
+namespace jwins::algo {
+
+RandomSamplingNode::RandomSamplingNode(
+    std::uint32_t rank, std::unique_ptr<nn::SupervisedModel> model,
+    data::Sampler sampler, TrainConfig config, double fraction,
+    std::uint64_t seed_base)
+    : DlNode(rank, std::move(model), std::move(sampler), config),
+      fraction_(fraction),
+      seed_base_(seed_base) {
+  if (fraction <= 0.0 || fraction > 1.0) {
+    throw std::invalid_argument("RandomSamplingNode: fraction must be in (0, 1]");
+  }
+}
+
+void RandomSamplingNode::share(net::Network& network, const graph::Graph& g,
+                               const graph::MixingWeights& /*weights*/,
+                               std::uint32_t round) {
+  const std::vector<float> x = flat_params();
+  const std::size_t n = x.size();
+  const std::size_t k = std::max<std::size_t>(
+      1, static_cast<std::size_t>(fraction_ * static_cast<double>(n) + 0.5));
+  // Per-(node, round) seed: the receiver recomputes the same subset from the
+  // 8 bytes in the message.
+  const std::uint64_t seed =
+      seed_base_ ^ (0x9E3779B97F4A7C15ull * (round + 1)) ^
+      (0xBF58476D1CE4E5B9ull * (rank() + 1));
+  core::SparsePayload payload;
+  payload.vector_length = static_cast<std::uint32_t>(n);
+  payload.indices = compress::random_indices(n, k, seed);
+  payload.values = compress::gather(x, payload.indices);
+  core::PayloadOptions options;
+  options.index_encoding = core::IndexEncoding::kSeed;
+  options.seed = seed;
+  const net::Message msg = core::make_message(rank(), round, payload, options);
+  for (std::size_t j : g.neighbors(rank())) {
+    network.send(static_cast<std::uint32_t>(j), msg);
+  }
+}
+
+void RandomSamplingNode::aggregate(net::Network& network, const graph::Graph& g,
+                                   const graph::MixingWeights& weights,
+                                   std::uint32_t round) {
+  (void)round;
+  const std::vector<net::Message> inbox = network.drain(rank());
+  std::vector<core::SparsePayload> payloads;
+  payloads.reserve(inbox.size());
+  std::vector<core::WeightedContribution> contributions;
+  contributions.reserve(inbox.size());
+  for (const net::Message& msg : inbox) {
+    payloads.push_back(core::decode_payload(msg.body));
+    contributions.push_back(
+        {weight_of(g, weights, rank(), msg.sender), &payloads.back()});
+  }
+  std::vector<float> x = flat_params();
+  core::partial_average(x, weights.self_weight[rank()], contributions);
+  set_flat_params(x);
+}
+
+}  // namespace jwins::algo

@@ -1,0 +1,41 @@
+#include "compress/bitstream.hpp"
+
+namespace jwins::compress {
+
+void BitWriter::write_bits(std::uint64_t bits, unsigned count) {
+  if (count > 64) throw std::invalid_argument("write_bits: count > 64");
+  for (unsigned i = count; i-- > 0;) {
+    write_bit((bits >> i) & 1u);
+  }
+}
+
+void BitWriter::write_bit(bool bit) {
+  const std::size_t byte_index = bit_count_ / 8;
+  const unsigned bit_index = 7 - static_cast<unsigned>(bit_count_ % 8);
+  if (byte_index >= bytes_.size()) bytes_.push_back(0);
+  if (bit) bytes_[byte_index] |= static_cast<std::uint8_t>(1u << bit_index);
+  ++bit_count_;
+}
+
+std::vector<std::uint8_t> BitWriter::finish() && { return std::move(bytes_); }
+
+std::uint64_t BitReader::read_bits(unsigned count) {
+  if (count > 64) throw std::invalid_argument("read_bits: count > 64");
+  std::uint64_t value = 0;
+  for (unsigned i = 0; i < count; ++i) {
+    value = (value << 1) | static_cast<std::uint64_t>(read_bit());
+  }
+  return value;
+}
+
+bool BitReader::read_bit() {
+  if (pos_ >= capacity()) {
+    throw std::out_of_range("BitReader: read past end of stream");
+  }
+  const std::size_t byte_index = pos_ / 8;
+  const unsigned bit_index = 7 - static_cast<unsigned>(pos_ % 8);
+  ++pos_;
+  return (bytes_[byte_index] >> bit_index) & 1u;
+}
+
+}  // namespace jwins::compress

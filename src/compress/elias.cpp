@@ -1,0 +1,103 @@
+#include "compress/elias.hpp"
+
+#include <bit>
+#include <stdexcept>
+
+namespace jwins::compress {
+
+namespace {
+
+unsigned bit_width_u64(std::uint64_t v) noexcept {
+  return static_cast<unsigned>(std::bit_width(v));
+}
+
+}  // namespace
+
+void elias_gamma_encode(BitWriter& writer, std::uint64_t value) {
+  if (value == 0) throw std::invalid_argument("elias gamma cannot encode 0");
+  const unsigned n = bit_width_u64(value);  // value in [2^(n-1), 2^n)
+  // n-1 zero bits, then the n bits of the value (leading 1 included).
+  for (unsigned i = 0; i + 1 < n; ++i) writer.write_bit(false);
+  writer.write_bits(value, n);
+}
+
+std::uint64_t elias_gamma_decode(BitReader& reader) {
+  unsigned zeros = 0;
+  while (!reader.read_bit()) {
+    if (++zeros > 63) throw std::runtime_error("elias gamma: malformed codeword");
+  }
+  std::uint64_t value = 1;
+  if (zeros > 0) {
+    value = (value << zeros) | reader.read_bits(zeros);
+  }
+  return value;
+}
+
+void elias_delta_encode(BitWriter& writer, std::uint64_t value) {
+  if (value == 0) throw std::invalid_argument("elias delta cannot encode 0");
+  const unsigned n = bit_width_u64(value);
+  elias_gamma_encode(writer, n);
+  if (n > 1) writer.write_bits(value & ((std::uint64_t{1} << (n - 1)) - 1), n - 1);
+}
+
+std::uint64_t elias_delta_decode(BitReader& reader) {
+  const auto n = static_cast<unsigned>(elias_gamma_decode(reader));
+  if (n == 0 || n > 64) throw std::runtime_error("elias delta: malformed length");
+  std::uint64_t value = std::uint64_t{1} << (n - 1);
+  if (n > 1) value |= reader.read_bits(n - 1);
+  return value;
+}
+
+std::vector<std::uint8_t> encode_index_gaps(
+    std::span<const std::uint32_t> sorted_indices) {
+  BitWriter writer;
+  std::uint32_t prev = 0;
+  bool first = true;
+  for (std::uint32_t idx : sorted_indices) {
+    std::uint64_t gap;
+    if (first) {
+      gap = std::uint64_t{idx} + 1;  // first index may be 0; shift by one
+      first = false;
+    } else {
+      if (idx <= prev) {
+        throw std::invalid_argument(
+            "encode_index_gaps requires strictly increasing indices");
+      }
+      gap = idx - prev;
+    }
+    elias_gamma_encode(writer, gap);
+    prev = idx;
+  }
+  return std::move(writer).finish();
+}
+
+std::vector<std::uint32_t> decode_index_gaps(std::span<const std::uint8_t> bytes,
+                                             std::size_t count) {
+  BitReader reader(bytes);
+  std::vector<std::uint32_t> indices;
+  indices.reserve(count);
+  std::uint64_t prev = 0;
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::uint64_t gap = elias_gamma_decode(reader);
+    const std::uint64_t idx = (i == 0) ? gap - 1 : prev + gap;
+    if (idx > 0xFFFFFFFFull) throw std::runtime_error("decoded index overflows u32");
+    indices.push_back(static_cast<std::uint32_t>(idx));
+    prev = idx;
+  }
+  return indices;
+}
+
+std::size_t index_gaps_encoded_size(std::span<const std::uint32_t> sorted_indices) {
+  std::size_t bits = 0;
+  std::uint32_t prev = 0;
+  bool first = true;
+  for (std::uint32_t idx : sorted_indices) {
+    const std::uint64_t gap = first ? std::uint64_t{idx} + 1 : std::uint64_t{idx - prev};
+    first = false;
+    bits += 2u * bit_width_u64(gap) - 1u;
+    prev = idx;
+  }
+  return (bits + 7) / 8;
+}
+
+}  // namespace jwins::compress

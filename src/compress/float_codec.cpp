@@ -1,0 +1,109 @@
+#include "compress/float_codec.hpp"
+
+#include <bit>
+#include <cstring>
+#include <stdexcept>
+
+#include "compress/bitstream.hpp"
+
+namespace jwins::compress {
+
+namespace {
+
+std::uint32_t float_bits(float v) noexcept {
+  return std::bit_cast<std::uint32_t>(v);
+}
+
+float bits_float(std::uint32_t b) noexcept { return std::bit_cast<float>(b); }
+
+// Shared encode loop: emits to `writer` if non-null, always tallies bits.
+std::size_t encode_stream(std::span<const float> values, BitWriter* writer) {
+  std::size_t bits = 0;
+  auto emit_bit = [&](bool b) {
+    if (writer) writer->write_bit(b);
+    ++bits;
+  };
+  auto emit_bits = [&](std::uint64_t v, unsigned n) {
+    if (writer) writer->write_bits(v, n);
+    bits += n;
+  };
+
+  if (values.empty()) return 0;
+  emit_bits(float_bits(values[0]), 32);
+  std::uint32_t prev = float_bits(values[0]);
+  unsigned block_lead = 0xFF;  // invalid: forces a new block header first time
+  unsigned block_len = 0;
+  for (std::size_t i = 1; i < values.size(); ++i) {
+    const std::uint32_t cur = float_bits(values[i]);
+    const std::uint32_t x = cur ^ prev;
+    prev = cur;
+    if (x == 0) {
+      emit_bit(false);
+      continue;
+    }
+    emit_bit(true);
+    const unsigned lead = std::min(31, std::countl_zero(x));
+    const unsigned trail = static_cast<unsigned>(std::countr_zero(x));
+    const unsigned len = 32 - lead - trail;
+    const bool fits_block =
+        block_lead != 0xFF && lead >= block_lead &&
+        (32 - lead - len) >= (32 - block_lead - block_len);
+    if (fits_block) {
+      emit_bit(false);
+      emit_bits(x >> (32 - block_lead - block_len), block_len);
+    } else {
+      emit_bit(true);
+      emit_bits(lead, 5);
+      emit_bits(len - 1, 5);
+      emit_bits(x >> trail, len);
+      block_lead = lead;
+      block_len = len;
+    }
+  }
+  return bits;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> compress_floats(std::span<const float> values) {
+  BitWriter writer;
+  encode_stream(values, &writer);
+  return std::move(writer).finish();
+}
+
+std::size_t compressed_floats_size(std::span<const float> values) {
+  return (encode_stream(values, nullptr) + 7) / 8;
+}
+
+std::vector<float> decompress_floats(std::span<const std::uint8_t> bytes,
+                                     std::size_t count) {
+  std::vector<float> out;
+  if (count == 0) return out;
+  out.reserve(count);
+  BitReader reader(bytes);
+  std::uint32_t prev = static_cast<std::uint32_t>(reader.read_bits(32));
+  out.push_back(bits_float(prev));
+  unsigned block_lead = 0;
+  unsigned block_len = 0;
+  bool have_block = false;
+  for (std::size_t i = 1; i < count; ++i) {
+    if (!reader.read_bit()) {  // identical to previous
+      out.push_back(bits_float(prev));
+      continue;
+    }
+    if (reader.read_bit()) {  // new block header
+      block_lead = static_cast<unsigned>(reader.read_bits(5));
+      block_len = static_cast<unsigned>(reader.read_bits(5)) + 1;
+      have_block = true;
+    } else if (!have_block) {
+      throw std::runtime_error("float codec: reuse of block before definition");
+    }
+    const auto meaningful = static_cast<std::uint32_t>(reader.read_bits(block_len));
+    const unsigned shift = 32 - block_lead - block_len;
+    prev ^= meaningful << shift;
+    out.push_back(bits_float(prev));
+  }
+  return out;
+}
+
+}  // namespace jwins::compress

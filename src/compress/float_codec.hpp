@@ -1,0 +1,30 @@
+// Lossless float-stream codec standing in for Fpzip (paper §IV-B e).
+//
+// The paper applies Fpzip uniformly to all parameter payloads for all
+// algorithms; we do the same with an XOR-predictive codec in the style of
+// Gorilla (Pelkonen et al., VLDB'15): each value is XORed with the previous
+// one and the meaningful bits are emitted with a leading/trailing-zero
+// header. Neural network parameter streams are locally correlated, so the
+// predictor removes sign/exponent redundancy; the codec is exactly lossless,
+// which preserves algorithm behaviour while shrinking payload bytes.
+// The substitution is recorded in DESIGN.md.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace jwins::compress {
+
+/// Compresses a float stream losslessly. Output layout: the raw first value
+/// then XOR-coded residuals.
+std::vector<std::uint8_t> compress_floats(std::span<const float> values);
+
+/// Exact inverse of compress_floats. `count` is the number of floats encoded.
+std::vector<float> decompress_floats(std::span<const std::uint8_t> bytes,
+                                     std::size_t count);
+
+/// Compressed size in bytes without materializing the buffer.
+std::size_t compressed_floats_size(std::span<const float> values);
+
+}  // namespace jwins::compress

@@ -1,0 +1,89 @@
+#include "compress/quantize.hpp"
+
+#include <bit>
+#include <cmath>
+#include <stdexcept>
+
+#include "compress/bitstream.hpp"
+#include "net/serializer.hpp"
+
+namespace jwins::compress {
+
+namespace {
+
+unsigned bits_per_level(std::uint32_t levels) noexcept {
+  // A level index lies in [0, s]; add one sign bit separately.
+  return static_cast<unsigned>(std::bit_width(levels));
+}
+
+}  // namespace
+
+QuantizedVector qsgd_quantize(std::span<const float> values,
+                              std::uint32_t levels, std::mt19937_64& rng) {
+  if (levels == 0) throw std::invalid_argument("qsgd_quantize: levels must be >= 1");
+  QuantizedVector q;
+  q.levels = levels;
+  q.count = static_cast<std::uint32_t>(values.size());
+  double norm_sq = 0.0;
+  for (float v : values) norm_sq += static_cast<double>(v) * v;
+  q.norm = static_cast<float>(std::sqrt(norm_sq));
+  BitWriter writer;
+  std::uniform_real_distribution<double> u01(0.0, 1.0);
+  const unsigned level_bits = bits_per_level(levels);
+  for (float v : values) {
+    writer.write_bit(v < 0.0f);
+    std::uint32_t level = 0;
+    if (q.norm > 0.0f) {
+      const double scaled =
+          std::fabs(v) / q.norm * static_cast<double>(levels);
+      const auto lower = static_cast<std::uint32_t>(scaled);
+      const double frac = scaled - lower;
+      level = lower + (u01(rng) < frac ? 1u : 0u);  // unbiased rounding
+      if (level > levels) level = levels;
+    }
+    writer.write_bits(level, level_bits);
+  }
+  q.packed = std::move(writer).finish();
+  return q;
+}
+
+std::vector<float> qsgd_dequantize(const QuantizedVector& q) {
+  std::vector<float> out(q.count, 0.0f);
+  if (q.count == 0) return out;
+  BitReader reader(q.packed);
+  const unsigned level_bits = bits_per_level(q.levels);
+  const float scale = q.norm / static_cast<float>(q.levels);
+  for (std::uint32_t i = 0; i < q.count; ++i) {
+    const bool negative = reader.read_bit();
+    const auto level = static_cast<float>(reader.read_bits(level_bits));
+    out[i] = (negative ? -1.0f : 1.0f) * scale * level;
+  }
+  return out;
+}
+
+std::size_t qsgd_wire_size(const QuantizedVector& q) noexcept {
+  // norm + levels + count + length-prefixed packed blob.
+  return sizeof(float) + 3 * sizeof(std::uint32_t) + q.packed.size();
+}
+
+std::vector<std::uint8_t> qsgd_serialize(const QuantizedVector& q) {
+  net::ByteWriter writer;
+  writer.write_f32(q.norm);
+  writer.write_u32(q.levels);
+  writer.write_u32(q.count);
+  writer.write_bytes(q.packed);
+  return std::move(writer).take();
+}
+
+QuantizedVector qsgd_deserialize(std::span<const std::uint8_t> bytes) {
+  net::ByteReader reader(bytes);
+  QuantizedVector q;
+  q.norm = reader.read_f32();
+  q.levels = reader.read_u32();
+  q.count = reader.read_u32();
+  q.packed = reader.read_bytes();
+  if (q.levels == 0) throw std::runtime_error("qsgd_deserialize: zero levels");
+  return q;
+}
+
+}  // namespace jwins::compress

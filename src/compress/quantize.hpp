@@ -1,0 +1,43 @@
+// QSGD-style stochastic quantization (Alistarh et al., NIPS 2017).
+//
+// The paper discusses quantization as the other major compression family
+// (§II-B) and CHOCO-SGD is defined for arbitrary compressors; this module
+// provides the standard s-level stochastic quantizer so CHOCO can run with
+// quantization instead of TopK (an extension experiment — see
+// bench_ablation_compressors).
+//
+// Encoding of x: ||x||_2 (one float), then per element a sign bit and an
+// integer level in [0, s], stochastically rounded so the quantizer is
+// unbiased: E[Q(x)] = x. Levels are bit-packed (ceil(log2(s+1)) bits each).
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <span>
+#include <vector>
+
+namespace jwins::compress {
+
+struct QuantizedVector {
+  float norm = 0.0f;          ///< L2 norm of the original vector
+  std::uint32_t levels = 1;   ///< quantization levels s
+  std::uint32_t count = 0;    ///< number of elements
+  std::vector<std::uint8_t> packed;  ///< sign+level bitstream
+};
+
+/// Quantizes `values` to s levels with unbiased stochastic rounding.
+QuantizedVector qsgd_quantize(std::span<const float> values,
+                              std::uint32_t levels, std::mt19937_64& rng);
+
+/// Reconstructs the (lossy) vector: sign * norm * level / s per element.
+std::vector<float> qsgd_dequantize(const QuantizedVector& q);
+
+/// Serialized wire size in bytes.
+std::size_t qsgd_wire_size(const QuantizedVector& q) noexcept;
+
+/// Serialization to/from a byte buffer (format: norm f32, levels u32,
+/// count u32, packed bytes).
+std::vector<std::uint8_t> qsgd_serialize(const QuantizedVector& q);
+QuantizedVector qsgd_deserialize(std::span<const std::uint8_t> bytes);
+
+}  // namespace jwins::compress

@@ -1,0 +1,70 @@
+#include "compress/topk.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace jwins::compress {
+
+std::vector<std::uint32_t> topk_indices(std::span<const float> values,
+                                        std::size_t k) {
+  const std::size_t n = values.size();
+  std::vector<std::uint32_t> order(n);
+  std::iota(order.begin(), order.end(), 0u);
+  if (k >= n) {
+    return order;  // already ascending
+  }
+  std::nth_element(order.begin(), order.begin() + static_cast<std::ptrdiff_t>(k),
+                   order.end(), [&](std::uint32_t a, std::uint32_t b) {
+                     return std::fabs(values[a]) > std::fabs(values[b]);
+                   });
+  order.resize(k);
+  std::sort(order.begin(), order.end());
+  return order;
+}
+
+std::vector<std::uint32_t> random_indices(std::size_t n, std::size_t k,
+                                          std::uint64_t seed) {
+  if (k > n) k = n;
+  std::mt19937_64 rng(seed);
+  // Floyd's algorithm gives k distinct samples in O(k) memory.
+  std::vector<std::uint32_t> picked;
+  picked.reserve(k);
+  std::vector<bool> in_set(n, false);
+  for (std::size_t j = n - k; j < n; ++j) {
+    std::uniform_int_distribution<std::size_t> dist(0, j);
+    std::size_t t = dist(rng);
+    if (in_set[t]) t = j;
+    in_set[t] = true;
+    picked.push_back(static_cast<std::uint32_t>(t));
+  }
+  std::sort(picked.begin(), picked.end());
+  return picked;
+}
+
+std::vector<float> gather(std::span<const float> values,
+                          std::span<const std::uint32_t> indices) {
+  std::vector<float> out;
+  out.reserve(indices.size());
+  for (std::uint32_t idx : indices) {
+    if (idx >= values.size()) throw std::out_of_range("gather: index out of range");
+    out.push_back(values[idx]);
+  }
+  return out;
+}
+
+void scatter(std::span<float> dense, std::span<const std::uint32_t> indices,
+             std::span<const float> sparse) {
+  if (indices.size() != sparse.size()) {
+    throw std::invalid_argument("scatter: indices/values size mismatch");
+  }
+  for (std::size_t i = 0; i < indices.size(); ++i) {
+    if (indices[i] >= dense.size()) {
+      throw std::out_of_range("scatter: index out of range");
+    }
+    dense[indices[i]] = sparse[i];
+  }
+}
+
+}  // namespace jwins::compress

@@ -1,0 +1,34 @@
+// TopK magnitude selection and seeded random index sampling — the two
+// sparsification primitives in the paper (TopK for JWINS/CHOCO, random
+// sampling as the sparse-communication baseline).
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <span>
+#include <vector>
+
+namespace jwins::compress {
+
+/// Indices of the `k` largest-magnitude elements of `values`, sorted
+/// ascending (the order required by the gap-based metadata coder).
+/// If k >= values.size(), all indices are returned.
+std::vector<std::uint32_t> topk_indices(std::span<const float> values,
+                                        std::size_t k);
+
+/// `k` distinct indices drawn uniformly from [0, n) using `seed` — the
+/// random-sampling baseline. Sharing the seed reproduces the exact subset on
+/// the receiver, so the metadata cost is just the 8-byte seed (paper §II-B2).
+/// Returned sorted ascending.
+std::vector<std::uint32_t> random_indices(std::size_t n, std::size_t k,
+                                          std::uint64_t seed);
+
+/// Gathers `values[idx]` for each idx.
+std::vector<float> gather(std::span<const float> values,
+                          std::span<const std::uint32_t> indices);
+
+/// Scatters `sparse[i]` into `dense[indices[i]]`.
+void scatter(std::span<float> dense, std::span<const std::uint32_t> indices,
+             std::span<const float> sparse);
+
+}  // namespace jwins::compress

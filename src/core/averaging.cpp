@@ -1,0 +1,46 @@
+#include "core/averaging.hpp"
+
+#include <stdexcept>
+
+namespace jwins::core {
+
+void partial_average(std::span<float> own, double self_weight,
+                     std::span<const WeightedContribution> contributions) {
+  const std::size_t n = own.size();
+  std::vector<double> numerator(n);
+  std::vector<double> denominator(n, self_weight);
+  for (std::size_t i = 0; i < n; ++i) {
+    numerator[i] = self_weight * own[i];
+  }
+  for (const WeightedContribution& c : contributions) {
+    if (c.payload == nullptr) {
+      throw std::invalid_argument("partial_average: null contribution");
+    }
+    const SparsePayload& p = *c.payload;
+    if (p.vector_length != n) {
+      throw std::invalid_argument("partial_average: vector length mismatch");
+    }
+    if (p.dense()) {
+      for (std::size_t i = 0; i < n; ++i) {
+        numerator[i] += c.weight * p.values[i];
+        denominator[i] += c.weight;
+      }
+    } else {
+      for (std::size_t i = 0; i < p.indices.size(); ++i) {
+        const std::uint32_t idx = p.indices[i];
+        if (idx >= n) {
+          throw std::out_of_range("partial_average: index out of range");
+        }
+        numerator[idx] += c.weight * p.values[i];
+        denominator[idx] += c.weight;
+      }
+    }
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    own[i] = denominator[i] > 0.0
+                 ? static_cast<float>(numerator[i] / denominator[i])
+                 : own[i];
+  }
+}
+
+}  // namespace jwins::core

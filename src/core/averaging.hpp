@@ -1,0 +1,28 @@
+// Partial weighted averaging (paper Algorithm 1, line 10).
+//
+// Received sparse vectors cover different index subsets, so the mixing
+// weights are re-normalized per coefficient over the set of contributors
+// that actually supplied it (own model always contributes): for index k,
+//   avg[k] = (w_self * own[k] + sum_{j sent k} w_j * z_j[k])
+//            / (w_self + sum_{j sent k} w_j).
+// With dense contributions from every neighbor this reduces exactly to the
+// Metropolis-Hastings weighted average used by full-sharing D-PSGD.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/sparse_payload.hpp"
+
+namespace jwins::core {
+
+struct WeightedContribution {
+  double weight = 0.0;
+  const SparsePayload* payload = nullptr;
+};
+
+/// Averages `own` (dense) with sparse neighbor contributions in place.
+void partial_average(std::span<float> own, double self_weight,
+                     std::span<const WeightedContribution> contributions);
+
+}  // namespace jwins::core

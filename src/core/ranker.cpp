@@ -1,0 +1,91 @@
+#include "core/ranker.hpp"
+
+#include <stdexcept>
+
+namespace jwins::core {
+
+WaveletRanker::WaveletRanker(std::size_t model_size, Options options)
+    : options_(std::move(options)), model_size_(model_size) {
+  if (model_size == 0) {
+    throw std::invalid_argument("WaveletRanker: empty model");
+  }
+  if (options_.use_wavelet) {
+    plan_.emplace(dwt::wavelet_by_name(options_.wavelet), model_size,
+                  options_.levels);
+  }
+  scores_.assign(coeff_length(), 0.0f);
+}
+
+std::size_t WaveletRanker::coeff_length() const noexcept {
+  return plan_ ? plan_->coeff_length() : model_size_;
+}
+
+std::size_t WaveletRanker::band_count() const noexcept {
+  return plan_ ? plan_->levels() + 1 : 1;
+}
+
+std::size_t WaveletRanker::band_of(std::size_t coeff_index) const {
+  if (!plan_) {
+    if (coeff_index >= model_size_) {
+      throw std::out_of_range("WaveletRanker::band_of: index out of range");
+    }
+    return 0;
+  }
+  return plan_->band_of(coeff_index);
+}
+
+std::vector<float> WaveletRanker::transform(std::span<const float> model) const {
+  if (model.size() != model_size_) {
+    throw std::invalid_argument("WaveletRanker::transform: size mismatch");
+  }
+  if (plan_) return plan_->forward(model);
+  return std::vector<float>(model.begin(), model.end());
+}
+
+std::vector<float> WaveletRanker::inverse(std::span<const float> coeffs) const {
+  if (coeffs.size() != coeff_length()) {
+    throw std::invalid_argument("WaveletRanker::inverse: size mismatch");
+  }
+  if (plan_) return plan_->inverse(coeffs);
+  return std::vector<float>(coeffs.begin(), coeffs.end());
+}
+
+std::span<const float> WaveletRanker::accumulate_round_change(
+    std::span<const float> before, std::span<const float> after) {
+  if (before.size() != model_size_ || after.size() != model_size_) {
+    throw std::invalid_argument("WaveletRanker: model size mismatch");
+  }
+  if (!options_.use_accumulation) {
+    std::fill(scores_.begin(), scores_.end(), 0.0f);
+  }
+  std::vector<float> delta(model_size_);
+  for (std::size_t i = 0; i < model_size_; ++i) delta[i] = after[i] - before[i];
+  const std::vector<float> coeffs = transform(delta);
+  for (std::size_t i = 0; i < scores_.size(); ++i) scores_[i] += coeffs[i];
+  return scores_;
+}
+
+void WaveletRanker::finish_round(std::span<const float> pre_average,
+                                 std::span<const float> post_average,
+                                 std::span<const std::uint32_t> sent_indices) {
+  if (pre_average.size() != model_size_ || post_average.size() != model_size_) {
+    throw std::invalid_argument("WaveletRanker::finish_round: size mismatch");
+  }
+  // Eq. (4): by linearity of the transform, adding T(x^{t+1,0} - x^{t,tau})
+  // on top of the already-accumulated T(x^{t,tau} - x^{t,0}) yields
+  // V + T(x^{t+1,0} - x^{t,0}) for the round.
+  std::vector<float> delta(model_size_);
+  for (std::size_t i = 0; i < model_size_; ++i) {
+    delta[i] = post_average[i] - pre_average[i];
+  }
+  const std::vector<float> coeffs = transform(delta);
+  for (std::size_t i = 0; i < scores_.size(); ++i) scores_[i] += coeffs[i];
+  // "Entries in the accumulation vector that were chosen in this round are
+  // set to zero" — the shared coefficients' pent-up change has been
+  // communicated.
+  for (std::uint32_t idx : sent_indices) {
+    if (idx < scores_.size()) scores_[idx] = 0.0f;
+  }
+}
+
+}  // namespace jwins::core

@@ -1,0 +1,123 @@
+#include "core/sparse_payload.hpp"
+
+#include <stdexcept>
+
+#include "compress/elias.hpp"
+#include "compress/float_codec.hpp"
+#include "compress/topk.hpp"
+#include "net/serializer.hpp"
+
+namespace jwins::core {
+
+EncodedPayload encode_payload(const SparsePayload& payload,
+                              const PayloadOptions& options) {
+  net::ByteWriter writer;
+  writer.write_u8(static_cast<std::uint8_t>(options.index_encoding));
+  writer.write_u8(static_cast<std::uint8_t>(options.value_encoding));
+  writer.write_u32(payload.vector_length);
+  writer.write_u32(static_cast<std::uint32_t>(payload.values.size()));
+
+  switch (options.index_encoding) {
+    case IndexEncoding::kDense:
+      if (!payload.indices.empty() ||
+          payload.values.size() != payload.vector_length) {
+        throw std::invalid_argument("encode_payload: malformed dense payload");
+      }
+      break;
+    case IndexEncoding::kEliasGamma: {
+      if (payload.indices.size() != payload.values.size()) {
+        throw std::invalid_argument("encode_payload: index/value mismatch");
+      }
+      writer.write_bytes(compress::encode_index_gaps(payload.indices));
+      break;
+    }
+    case IndexEncoding::kRaw:
+      if (payload.indices.size() != payload.values.size()) {
+        throw std::invalid_argument("encode_payload: index/value mismatch");
+      }
+      writer.write_u32_array(payload.indices);
+      break;
+    case IndexEncoding::kSeed:
+      // Receiver re-derives the indices; sanity-check they match here.
+      writer.write_u64(options.seed);
+      break;
+  }
+  const std::size_t metadata_bytes = writer.size();
+
+  switch (options.value_encoding) {
+    case ValueEncoding::kXorCodec:
+      writer.write_bytes(compress::compress_floats(payload.values));
+      break;
+    case ValueEncoding::kRaw:
+      writer.write_f32_array(payload.values);
+      break;
+  }
+
+  EncodedPayload out;
+  out.body = std::move(writer).take();
+  out.metadata_bytes = metadata_bytes;
+  return out;
+}
+
+SparsePayload decode_payload(std::span<const std::uint8_t> body) {
+  net::ByteReader reader(body);
+  const auto index_mode = static_cast<IndexEncoding>(reader.read_u8());
+  const auto value_mode = static_cast<ValueEncoding>(reader.read_u8());
+  SparsePayload payload;
+  payload.vector_length = reader.read_u32();
+  const std::uint32_t count = reader.read_u32();
+
+  switch (index_mode) {
+    case IndexEncoding::kDense:
+      if (count != payload.vector_length) {
+        throw std::runtime_error("decode_payload: dense count mismatch");
+      }
+      break;
+    case IndexEncoding::kEliasGamma: {
+      const auto blob = reader.read_bytes();
+      payload.indices = compress::decode_index_gaps(blob, count);
+      break;
+    }
+    case IndexEncoding::kRaw:
+      payload.indices = reader.read_u32_array();
+      if (payload.indices.size() != count) {
+        throw std::runtime_error("decode_payload: raw index count mismatch");
+      }
+      break;
+    case IndexEncoding::kSeed: {
+      const std::uint64_t seed = reader.read_u64();
+      payload.indices =
+          compress::random_indices(payload.vector_length, count, seed);
+      break;
+    }
+  }
+
+  switch (value_mode) {
+    case ValueEncoding::kXorCodec: {
+      const auto blob = reader.read_bytes();
+      payload.values = compress::decompress_floats(blob, count);
+      break;
+    }
+    case ValueEncoding::kRaw:
+      payload.values = reader.read_f32_array();
+      break;
+  }
+  if (payload.values.size() != count) {
+    throw std::runtime_error("decode_payload: value count mismatch");
+  }
+  return payload;
+}
+
+net::Message make_message(std::uint32_t sender, std::uint32_t round,
+                          const SparsePayload& payload,
+                          const PayloadOptions& options) {
+  EncodedPayload encoded = encode_payload(payload, options);
+  net::Message msg;
+  msg.sender = sender;
+  msg.round = round;
+  msg.body = std::move(encoded.body);
+  msg.metadata_bytes = encoded.metadata_bytes;
+  return msg;
+}
+
+}  // namespace jwins::core

@@ -1,0 +1,68 @@
+// Wire format for sparse (and dense) model-vector exchange.
+//
+// All algorithms in the reproduction (JWINS, CHOCO, random sampling,
+// full-sharing and the ablations) serialize their model payloads through
+// this one codec so byte accounting is uniform, exactly as the paper applies
+// Fpzip+Elias uniformly across algorithms. The encoding switches double as
+// the Figure-9 ablation (raw vs Elias-gamma index metadata).
+//
+// Layout: [index_mode u8][value_mode u8][vector_len u32][count u32]
+//         [index section][value section]
+// Everything before the value section counts as metadata_bytes.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "net/network.hpp"
+
+namespace jwins::core {
+
+enum class IndexEncoding : std::uint8_t {
+  kDense = 0,       ///< count == vector_len; indices implicit
+  kEliasGamma = 1,  ///< gap array, Elias-gamma coded (JWINS default)
+  kRaw = 2,         ///< 4 bytes per index (Figure-9 "no compression" arm)
+  kSeed = 3,        ///< 8-byte PRNG seed (random-sampling baseline)
+};
+
+enum class ValueEncoding : std::uint8_t {
+  kXorCodec = 0,  ///< lossless XOR-predictive codec (Fpzip stand-in)
+  kRaw = 1,       ///< 4 bytes per value
+};
+
+struct SparsePayload {
+  std::uint32_t vector_length = 0;
+  std::vector<std::uint32_t> indices;  ///< ascending; empty when dense
+  std::vector<float> values;           ///< aligned with indices (or dense)
+
+  bool dense() const noexcept { return indices.empty(); }
+};
+
+struct PayloadOptions {
+  IndexEncoding index_encoding = IndexEncoding::kEliasGamma;
+  ValueEncoding value_encoding = ValueEncoding::kXorCodec;
+  std::uint64_t seed = 0;  ///< required for IndexEncoding::kSeed
+};
+
+struct EncodedPayload {
+  std::vector<std::uint8_t> body;
+  std::size_t metadata_bytes = 0;
+};
+
+/// Serializes a payload. For kDense, `payload.indices` must be empty and
+/// values.size() == vector_length. For kSeed, the receiver regenerates the
+/// index set from (seed, count, vector_length).
+EncodedPayload encode_payload(const SparsePayload& payload,
+                              const PayloadOptions& options);
+
+/// Parses a payload produced by encode_payload. For kSeed the index set is
+/// regenerated, so the result always carries explicit indices unless dense.
+SparsePayload decode_payload(std::span<const std::uint8_t> body);
+
+/// Convenience: wraps an encoded payload into a network message.
+net::Message make_message(std::uint32_t sender, std::uint32_t round,
+                          const SparsePayload& payload,
+                          const PayloadOptions& options);
+
+}  // namespace jwins::core

@@ -1,0 +1,47 @@
+#include "data/dataset.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+namespace jwins::data {
+
+Sampler::Sampler(const Dataset& dataset, std::vector<std::size_t> indices,
+                 std::size_t batch_size, std::uint64_t seed)
+    : dataset_(&dataset),
+      indices_(std::move(indices)),
+      batch_size_(batch_size),
+      rng_(seed) {
+  if (indices_.empty()) {
+    throw std::invalid_argument("Sampler: empty index set");
+  }
+  if (batch_size_ == 0) {
+    throw std::invalid_argument("Sampler: batch size must be positive");
+  }
+  std::shuffle(indices_.begin(), indices_.end(), rng_);
+}
+
+Batch Sampler::next() {
+  const std::size_t take = std::min(batch_size_, indices_.size());
+  if (cursor_ + take > indices_.size()) {
+    std::shuffle(indices_.begin(), indices_.end(), rng_);
+    cursor_ = 0;
+  }
+  std::span<const std::size_t> slice(indices_.data() + cursor_, take);
+  cursor_ += take;
+  return dataset_->make_batch(slice);
+}
+
+std::size_t Sampler::batches_per_epoch() const noexcept {
+  return std::max<std::size_t>(1, indices_.size() / batch_size_);
+}
+
+Batch full_batch(const Dataset& dataset, std::size_t limit) {
+  const std::size_t n =
+      limit == 0 ? dataset.size() : std::min(limit, dataset.size());
+  std::vector<std::size_t> indices(n);
+  std::iota(indices.begin(), indices.end(), 0u);
+  return dataset.make_batch(indices);
+}
+
+}  // namespace jwins::data

@@ -1,0 +1,260 @@
+#include "data/synthetic.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace jwins::data {
+
+namespace {
+
+/// Smooth 2-D pattern: a small sum of random sinusoids. Low-frequency
+/// structure matters because the DWT-based ranking exploits smoothness; pure
+/// white-noise prototypes would make every transform equally bad.
+std::vector<float> smooth_pattern(std::size_t channels, std::size_t side,
+                                  std::mt19937& rng, float amplitude) {
+  std::uniform_real_distribution<float> phase(0.0f, 2.0f * std::numbers::pi_v<float>);
+  std::uniform_real_distribution<float> freq(0.5f, 2.5f);
+  std::uniform_real_distribution<float> amp(0.3f * amplitude, amplitude);
+  std::vector<float> out(channels * side * side, 0.0f);
+  for (std::size_t ch = 0; ch < channels; ++ch) {
+    for (int wave = 0; wave < 3; ++wave) {
+      const float fy = freq(rng), fx = freq(rng), ph = phase(rng), a = amp(rng);
+      for (std::size_t y = 0; y < side; ++y) {
+        for (std::size_t x = 0; x < side; ++x) {
+          const float arg = 2.0f * std::numbers::pi_v<float> *
+                                (fy * static_cast<float>(y) +
+                                 fx * static_cast<float>(x)) /
+                                static_cast<float>(side) +
+                            ph;
+          out[(ch * side + y) * side + x] += a * std::sin(arg);
+        }
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+SyntheticImages::SyntheticImages(Config config)
+    : config_(config),
+      pixels_per_sample_(config.channels * config.image_size * config.image_size) {
+  if (config_.classes == 0 || config_.samples == 0) {
+    throw std::invalid_argument("SyntheticImages: classes and samples must be positive");
+  }
+  // Distribution stream: prototypes and client styles.
+  std::mt19937 dist_rng(config_.seed);
+  std::vector<std::vector<float>> prototypes;
+  prototypes.reserve(config_.classes);
+  for (std::size_t c = 0; c < config_.classes; ++c) {
+    prototypes.push_back(
+        smooth_pattern(config_.channels, config_.image_size, dist_rng, 1.0f));
+  }
+  std::vector<std::vector<float>> styles;
+  for (std::size_t c = 0; c < config_.clients; ++c) {
+    styles.push_back(smooth_pattern(config_.channels, config_.image_size,
+                                    dist_rng, config_.client_style));
+  }
+
+  // Sample stream: labels and pixel noise.
+  std::mt19937 rng(config_.sample_seed);
+  data_.resize(config_.samples * pixels_per_sample_);
+  labels_.resize(config_.samples);
+  clients_.resize(config_.samples, -1);
+  std::uniform_int_distribution<std::size_t> label_dist(0, config_.classes - 1);
+  std::normal_distribution<float> noise(0.0f, config_.noise);
+  for (std::size_t s = 0; s < config_.samples; ++s) {
+    const std::size_t label = label_dist(rng);
+    labels_[s] = static_cast<std::int32_t>(label);
+    const std::size_t client =
+        config_.clients == 0 ? 0 : s % config_.clients;  // balanced clients
+    if (config_.clients > 0) clients_[s] = static_cast<std::int32_t>(client);
+    float* dst = data_.data() + s * pixels_per_sample_;
+    const float* proto = prototypes[label].data();
+    const float* style = config_.clients > 0 ? styles[client].data() : nullptr;
+    for (std::size_t i = 0; i < pixels_per_sample_; ++i) {
+      dst[i] = proto[i] + noise(rng) + (style ? style[i] : 0.0f);
+    }
+  }
+}
+
+Batch SyntheticImages::make_batch(std::span<const std::size_t> indices) const {
+  Batch batch;
+  const std::size_t n = indices.size();
+  batch.x = tensor::Tensor(
+      {n, config_.channels, config_.image_size, config_.image_size});
+  batch.labels.resize(n);
+  float* dst = batch.x.raw();
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t s = indices[i];
+    if (s >= size()) throw std::out_of_range("SyntheticImages: index out of range");
+    std::copy_n(data_.data() + s * pixels_per_sample_, pixels_per_sample_,
+                dst + i * pixels_per_sample_);
+    batch.labels[i] = labels_[s];
+  }
+  return batch;
+}
+
+std::int32_t SyntheticImages::label_of(std::size_t index) const {
+  return labels_.at(index);
+}
+
+std::int32_t SyntheticImages::client_of(std::size_t index) const {
+  return clients_.at(index);
+}
+
+std::span<const float> SyntheticImages::pixels(std::size_t index) const {
+  if (index >= size()) throw std::out_of_range("SyntheticImages: index out of range");
+  return {data_.data() + index * pixels_per_sample_, pixels_per_sample_};
+}
+
+SyntheticRatings::SyntheticRatings(Config config) : config_(config) {
+  if (config_.users == 0 || config_.items == 0) {
+    throw std::invalid_argument("SyntheticRatings: users and items must be positive");
+  }
+  // Distribution stream: ground-truth factors and biases.
+  std::mt19937 dist_rng(config_.seed);
+  const float scale = 1.0f / std::sqrt(static_cast<float>(config_.true_rank));
+  std::normal_distribution<float> factor(0.0f, scale);
+  std::normal_distribution<float> bias(0.0f, 0.3f);
+
+  std::vector<float> user_f(config_.users * config_.true_rank);
+  std::vector<float> item_f(config_.items * config_.true_rank);
+  std::vector<float> user_b(config_.users);
+  std::vector<float> item_b(config_.items);
+  for (float& v : user_f) v = factor(dist_rng);
+  for (float& v : item_f) v = factor(dist_rng);
+  for (float& v : user_b) v = bias(dist_rng);
+  for (float& v : item_b) v = bias(dist_rng);
+
+  // Sample stream: which items each user rates and the observation noise.
+  std::mt19937 rng(config_.sample_seed);
+  std::normal_distribution<float> noise(0.0f, config_.noise);
+  double sum = 0.0;
+  entries_.reserve(config_.users * config_.ratings_per_user);
+  std::uniform_int_distribution<std::uint32_t> item_dist(
+      0, static_cast<std::uint32_t>(config_.items - 1));
+  for (std::uint32_t u = 0; u < config_.users; ++u) {
+    for (std::size_t r = 0; r < config_.ratings_per_user; ++r) {
+      const std::uint32_t it = item_dist(rng);
+      double v = 3.0 + user_b[u] + item_b[it] + noise(rng);
+      for (std::size_t d = 0; d < config_.true_rank; ++d) {
+        v += static_cast<double>(user_f[u * config_.true_rank + d]) *
+             item_f[it * config_.true_rank + d] * 2.0;
+      }
+      const float rating = std::clamp(static_cast<float>(v), 1.0f, 5.0f);
+      entries_.push_back({u, it, rating});
+      sum += rating;
+    }
+  }
+  rating_mean_ = entries_.empty()
+                     ? 0.0f
+                     : static_cast<float>(sum / static_cast<double>(entries_.size()));
+}
+
+Batch SyntheticRatings::make_batch(std::span<const std::size_t> indices) const {
+  Batch batch;
+  const std::size_t n = indices.size();
+  batch.x = tensor::Tensor({n, 2});
+  batch.y = tensor::Tensor({n});
+  for (std::size_t i = 0; i < n; ++i) {
+    const Entry& e = entries_.at(indices[i]);
+    batch.x[i * 2] = static_cast<float>(e.user);
+    batch.x[i * 2 + 1] = static_cast<float>(e.item);
+    batch.y[i] = e.rating;
+  }
+  return batch;
+}
+
+std::int32_t SyntheticRatings::client_of(std::size_t index) const {
+  return static_cast<std::int32_t>(entries_.at(index).user);
+}
+
+SyntheticText::SyntheticText(Config config) : config_(config) {
+  if (config_.vocab < 2 || config_.seq_len == 0 || config_.clients == 0) {
+    throw std::invalid_argument("SyntheticText: invalid configuration");
+  }
+  const std::size_t v = config_.vocab;
+  // Distribution stream. Each transition row is peaked: 75% of the mass on
+  // one "preferred" next character, the rest uniform. That makes the task
+  // learnable (per-character accuracy ceiling ~75%, like natural text where
+  // the next character is often predictable) while per-client preferred
+  // characters create genuine distribution shift: with probability
+  // `client_style` a row's preferred character is client-specific instead of
+  // the globally shared one.
+  std::mt19937 dist_rng(config_.seed);
+  std::uniform_int_distribution<std::size_t> pick_char(0, v - 1);
+  std::uniform_real_distribution<float> u01d(0.0f, 1.0f);
+  std::vector<std::size_t> global_preferred(v);
+  for (std::size_t row = 0; row < v; ++row) global_preferred[row] = pick_char(dist_rng);
+  constexpr float kPeak = 0.75f;
+  std::vector<std::vector<float>> client_cdfs(config_.clients);
+  for (std::size_t c = 0; c < config_.clients; ++c) {
+    std::vector<float>& cdf = client_cdfs[c];
+    cdf.resize(v * v);
+    for (std::size_t row = 0; row < v; ++row) {
+      const bool own_style = u01d(dist_rng) < config_.client_style;
+      const std::size_t preferred =
+          own_style ? pick_char(dist_rng) : global_preferred[row];
+      float total = 0.0f;
+      for (std::size_t col = 0; col < v; ++col) {
+        const float p = (1.0f - kPeak) / static_cast<float>(v) +
+                        (col == preferred ? kPeak : 0.0f);
+        total += p;
+        cdf[row * v + col] = total;
+      }
+      for (std::size_t col = 0; col < v; ++col) cdf[row * v + col] /= total;
+    }
+  }
+
+  // Sample stream: the generated character sequences.
+  std::mt19937 rng(config_.sample_seed);
+  const std::size_t sample_tokens = config_.seq_len + 1;
+  tokens_.reserve(config_.clients * config_.samples_per_client * sample_tokens);
+  clients_.reserve(config_.clients * config_.samples_per_client);
+  std::uniform_real_distribution<float> u01(0.0f, 1.0f);
+  std::uniform_int_distribution<std::size_t> start(0, v - 1);
+  for (std::size_t c = 0; c < config_.clients; ++c) {
+    const std::vector<float>& cdf = client_cdfs[c];
+    for (std::size_t s = 0; s < config_.samples_per_client; ++s) {
+      std::size_t cur = start(rng);
+      tokens_.push_back(static_cast<std::uint8_t>(cur));
+      for (std::size_t t = 1; t < sample_tokens; ++t) {
+        const float r = u01(rng);
+        const float* row = cdf.data() + cur * v;
+        const std::size_t next = static_cast<std::size_t>(
+            std::lower_bound(row, row + v, r) - row);
+        cur = std::min(next, v - 1);
+        tokens_.push_back(static_cast<std::uint8_t>(cur));
+      }
+      clients_.push_back(static_cast<std::int32_t>(c));
+    }
+  }
+}
+
+Batch SyntheticText::make_batch(std::span<const std::size_t> indices) const {
+  Batch batch;
+  const std::size_t n = indices.size();
+  const std::size_t t_len = config_.seq_len;
+  const std::size_t sample_tokens = t_len + 1;
+  batch.x = tensor::Tensor({n, t_len});
+  batch.labels.resize(n * t_len);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t s = indices[i];
+    if (s >= size()) throw std::out_of_range("SyntheticText: index out of range");
+    const std::uint8_t* seq = tokens_.data() + s * sample_tokens;
+    for (std::size_t t = 0; t < t_len; ++t) {
+      batch.x[i * t_len + t] = static_cast<float>(seq[t]);
+      batch.labels[i * t_len + t] = static_cast<std::int32_t>(seq[t + 1]);
+    }
+  }
+  return batch;
+}
+
+std::int32_t SyntheticText::client_of(std::size_t index) const {
+  return clients_.at(index);
+}
+
+}  // namespace jwins::data

@@ -1,0 +1,130 @@
+// Synthetic dataset generators standing in for the paper's datasets.
+//
+// The real CIFAR-10 / MovieLens / LEAF corpora are unavailable offline, so
+// each generator produces a deterministic, seeded workload with the same
+// *structure* the paper's evaluation relies on (task family, label/client
+// non-IIDness, model family). The substitution ledger in DESIGN.md maps each
+// generator to the dataset it replaces.
+//
+// Every config has two seeds: `seed` fixes the underlying distribution
+// (class prototypes / rating factors / transition matrices) and
+// `sample_seed` fixes which samples are drawn from it. Train and test sets
+// share `seed` but use different `sample_seed`s, giving disjoint draws from
+// one distribution, like a real train/test split.
+#pragma once
+
+#include <cstdint>
+
+#include "data/dataset.hpp"
+#include "tensor/tensor.hpp"
+
+namespace jwins::data {
+
+/// Class-conditional image classification (CIFAR-10 / CelebA / FEMNIST
+/// stand-in). Every class has a smooth random prototype pattern; a sample is
+/// prototype + Gaussian noise; optional per-client style offsets model
+/// writer non-IIDness (FEMNIST).
+class SyntheticImages final : public Dataset {
+ public:
+  struct Config {
+    std::size_t classes = 10;
+    std::size_t channels = 3;
+    std::size_t image_size = 8;   ///< square images
+    std::size_t samples = 2048;
+    float noise = 0.6f;           ///< per-pixel Gaussian noise stddev
+    std::size_t clients = 0;      ///< 0 = no client structure
+    float client_style = 0.0f;    ///< strength of per-client style shift
+    std::uint32_t seed = 1;        ///< distribution (prototypes/styles)
+    std::uint32_t sample_seed = 1000;  ///< sample draw stream
+  };
+
+  explicit SyntheticImages(Config config);
+
+  std::size_t size() const override { return labels_.size(); }
+  Batch make_batch(std::span<const std::size_t> indices) const override;
+  std::int32_t label_of(std::size_t index) const override;
+  std::int32_t client_of(std::size_t index) const override;
+  std::size_t client_count() const override { return config_.clients; }
+
+  const Config& config() const noexcept { return config_; }
+
+  /// Pixels of one sample (channels*size*size floats), for direct access.
+  std::span<const float> pixels(std::size_t index) const;
+
+ private:
+  Config config_;
+  std::size_t pixels_per_sample_;
+  std::vector<float> data_;           // samples * pixels
+  std::vector<std::int32_t> labels_;  // per sample
+  std::vector<std::int32_t> clients_;
+};
+
+/// Low-rank ratings (MovieLens stand-in): ratings are generated from a
+/// ground-truth factor model and clipped to [1, 5]; each user is a client.
+class SyntheticRatings final : public Dataset {
+ public:
+  struct Config {
+    std::size_t users = 64;
+    std::size_t items = 128;
+    std::size_t true_rank = 4;
+    std::size_t ratings_per_user = 24;
+    float noise = 0.25f;
+    std::uint32_t seed = 1;
+    std::uint32_t sample_seed = 1000;
+  };
+
+  explicit SyntheticRatings(Config config);
+
+  std::size_t size() const override { return entries_.size(); }
+  Batch make_batch(std::span<const std::size_t> indices) const override;
+  std::int32_t client_of(std::size_t index) const override;
+  std::size_t client_count() const override { return config_.users; }
+
+  const Config& config() const noexcept { return config_; }
+  float rating_mean() const noexcept { return rating_mean_; }
+
+ private:
+  struct Entry {
+    std::uint32_t user;
+    std::uint32_t item;
+    float rating;
+  };
+
+  Config config_;
+  std::vector<Entry> entries_;
+  float rating_mean_ = 0.0f;
+};
+
+/// Markov-chain character streams (Shakespeare stand-in): every client owns
+/// a distinct character transition matrix (shared base + client-specific
+/// perturbation), giving real per-client distribution shift for the
+/// next-character task.
+class SyntheticText final : public Dataset {
+ public:
+  struct Config {
+    std::size_t vocab = 30;
+    std::size_t seq_len = 16;
+    std::size_t clients = 16;
+    std::size_t samples_per_client = 32;
+    float client_style = 0.6f;  ///< 0 = identical clients, 1 = fully distinct
+    std::uint32_t seed = 1;
+    std::uint32_t sample_seed = 1000;
+  };
+
+  explicit SyntheticText(Config config);
+
+  std::size_t size() const override { return clients_.size(); }
+  Batch make_batch(std::span<const std::size_t> indices) const override;
+  std::int32_t client_of(std::size_t index) const override;
+  std::size_t client_count() const override { return config_.clients; }
+
+  const Config& config() const noexcept { return config_; }
+
+ private:
+  Config config_;
+  // tokens_ holds (seq_len + 1) chars per sample: input window + final target.
+  std::vector<std::uint8_t> tokens_;
+  std::vector<std::int32_t> clients_;
+};
+
+}  // namespace jwins::data

@@ -1,0 +1,198 @@
+#include "dwt/dwt.hpp"
+
+#include <stdexcept>
+#include <string>
+
+namespace jwins::dwt {
+
+void analyze_level(const Wavelet& w, std::span<const float> input,
+                   std::span<float> approx, std::span<float> detail) {
+  const std::size_t n = input.size();
+  if (n == 0 || n % 2 != 0) {
+    throw std::invalid_argument("analyze_level requires even input length, got " +
+                                std::to_string(n));
+  }
+  const std::size_t half = n / 2;
+  if (approx.size() != half || detail.size() != half) {
+    throw std::invalid_argument("analyze_level output spans must have length n/2");
+  }
+  const std::size_t taps = w.length();
+  for (std::size_t k = 0; k < half; ++k) {
+    double a = 0.0, d = 0.0;
+    const std::size_t base = 2 * k;
+    for (std::size_t m = 0; m < taps; ++m) {
+      std::size_t idx = base + m;
+      if (idx >= n) idx -= n;          // periodic extension; taps <= n not
+      if (idx >= n) idx %= n;          // required: fall back to full modulo
+      const float x = input[idx];
+      a += static_cast<double>(w.lowpass[m]) * x;
+      d += static_cast<double>(w.highpass[m]) * x;
+    }
+    approx[k] = static_cast<float>(a);
+    detail[k] = static_cast<float>(d);
+  }
+}
+
+void synthesize_level(const Wavelet& w, std::span<const float> approx,
+                      std::span<const float> detail, std::span<float> output) {
+  const std::size_t half = approx.size();
+  const std::size_t n = output.size();
+  if (detail.size() != half || n != 2 * half) {
+    throw std::invalid_argument(
+        "synthesize_level requires |approx| == |detail| == |output|/2");
+  }
+  const std::size_t taps = w.length();
+  for (float& v : output) v = 0.0f;
+  // Transpose of the analysis operator: output[2k+m] += h[m]*a[k] + g[m]*d[k].
+  for (std::size_t k = 0; k < half; ++k) {
+    const float a = approx[k];
+    const float d = detail[k];
+    const std::size_t base = 2 * k;
+    for (std::size_t m = 0; m < taps; ++m) {
+      std::size_t idx = base + m;
+      while (idx >= n) idx -= n;
+      output[idx] += w.lowpass[m] * a + w.highpass[m] * d;
+    }
+  }
+}
+
+DwtPlan::DwtPlan(Wavelet wavelet, std::size_t input_length, std::size_t levels)
+    : wavelet_(std::move(wavelet)), input_length_(input_length) {
+  if (input_length == 0) {
+    throw std::invalid_argument("DwtPlan requires a non-empty signal");
+  }
+  std::size_t len = input_length;
+  for (std::size_t l = 0; l < levels && len >= 2; ++l) {
+    const std::size_t padded = len + (len % 2);
+    level_in_.push_back(len);
+    level_padded_.push_back(padded);
+    len = padded / 2;
+  }
+  // Flat layout: [a_L, d_L, d_{L-1}, ..., d_1]. Band 0 is a_L (length = final
+  // approx length), band b>=1 is d_{L-b+1}.
+  const std::size_t nlev = level_in_.size();
+  band_offsets_.resize(nlev + 2);
+  band_offsets_[0] = 0;
+  const std::size_t approx_len = nlev == 0 ? input_length : level_padded_.back() / 2;
+  band_offsets_[1] = approx_len;
+  std::size_t off = approx_len;
+  for (std::size_t b = 1; b <= nlev; ++b) {
+    // band b holds d at level (nlev - b + 1), whose length equals the padded
+    // input of that level divided by 2.
+    const std::size_t lev = nlev - b;  // index into level_padded_
+    off += level_padded_[lev] / 2;
+    band_offsets_[b + 1] = off;
+  }
+  coeff_length_ = off;
+}
+
+void DwtPlan::forward_into(std::span<const float> input,
+                           std::span<float> coeffs) const {
+  if (input.size() != input_length_) {
+    throw std::invalid_argument("DwtPlan::forward: input length mismatch");
+  }
+  if (coeffs.size() != coeff_length_) {
+    throw std::invalid_argument("DwtPlan::forward: coeff buffer length mismatch");
+  }
+  const std::size_t nlev = level_in_.size();
+  if (nlev == 0) {
+    for (std::size_t i = 0; i < input.size(); ++i) coeffs[i] = input[i];
+    return;
+  }
+  std::vector<float> cur(input.begin(), input.end());
+  std::vector<float> approx;
+  std::vector<float> detail;
+  for (std::size_t l = 0; l < nlev; ++l) {
+    cur.resize(level_padded_[l], 0.0f);  // zero-pad odd lengths
+    const std::size_t half = level_padded_[l] / 2;
+    approx.assign(half, 0.0f);
+    detail.assign(half, 0.0f);
+    analyze_level(wavelet_, cur, approx, detail);
+    // Detail of level l+1 lives in band (nlev - l); copy it into place.
+    const std::size_t band = nlev - l;
+    const std::size_t boff = band_offsets_[band];
+    for (std::size_t i = 0; i < half; ++i) coeffs[boff + i] = detail[i];
+    cur = approx;
+  }
+  for (std::size_t i = 0; i < cur.size(); ++i) coeffs[i] = cur[i];
+}
+
+std::vector<float> DwtPlan::forward(std::span<const float> input) const {
+  std::vector<float> coeffs(coeff_length_, 0.0f);
+  forward_into(input, coeffs);
+  return coeffs;
+}
+
+void DwtPlan::inverse_into(std::span<const float> coeffs,
+                           std::span<float> output) const {
+  if (coeffs.size() != coeff_length_) {
+    throw std::invalid_argument("DwtPlan::inverse: coeff length mismatch");
+  }
+  if (output.size() != input_length_) {
+    throw std::invalid_argument("DwtPlan::inverse: output length mismatch");
+  }
+  const std::size_t nlev = level_in_.size();
+  if (nlev == 0) {
+    for (std::size_t i = 0; i < coeffs.size(); ++i) output[i] = coeffs[i];
+    return;
+  }
+  std::vector<float> cur(coeffs.begin(),
+                         coeffs.begin() + static_cast<std::ptrdiff_t>(band_offsets_[1]));
+  std::vector<float> next;
+  for (std::size_t l = nlev; l-- > 0;) {
+    const std::size_t band = nlev - l;
+    const std::size_t boff = band_offsets_[band];
+    const std::size_t half = level_padded_[l] / 2;
+    std::span<const float> detail = coeffs.subspan(boff, half);
+    next.assign(level_padded_[l], 0.0f);
+    synthesize_level(wavelet_, cur, detail, next);
+    next.resize(level_in_[l]);  // drop the zero pad
+    cur = next;
+  }
+  for (std::size_t i = 0; i < input_length_; ++i) output[i] = cur[i];
+}
+
+std::vector<float> DwtPlan::inverse(std::span<const float> coeffs) const {
+  std::vector<float> out(input_length_, 0.0f);
+  inverse_into(coeffs, out);
+  return out;
+}
+
+std::size_t DwtPlan::band_of(std::size_t coeff_index) const {
+  if (coeff_index >= coeff_length_) {
+    throw std::out_of_range("band_of: coefficient index out of range");
+  }
+  // band_offsets_ has levels()+2 entries and is sorted; linear scan is fine
+  // (at most ~5 bands for the 4-level JWINS configuration).
+  std::size_t band = 0;
+  while (band + 1 < band_offsets_.size() && coeff_index >= band_offsets_[band + 1]) {
+    ++band;
+  }
+  return band;
+}
+
+std::size_t DwtPlan::band_offset(std::size_t band) const {
+  if (band + 1 >= band_offsets_.size()) {
+    throw std::out_of_range("band_offset: band out of range");
+  }
+  return band_offsets_[band];
+}
+
+std::size_t DwtPlan::band_length(std::size_t band) const {
+  if (band + 1 >= band_offsets_.size()) {
+    throw std::out_of_range("band_length: band out of range");
+  }
+  return band_offsets_[band + 1] - band_offsets_[band];
+}
+
+std::vector<float> wavedec(const Wavelet& w, std::span<const float> input,
+                           std::size_t levels) {
+  return DwtPlan(w, input.size(), levels).forward(input);
+}
+
+std::vector<float> waverec(const Wavelet& w, std::span<const float> coeffs,
+                           std::size_t input_length, std::size_t levels) {
+  return DwtPlan(w, input_length, levels).inverse(coeffs);
+}
+
+}  // namespace jwins::dwt

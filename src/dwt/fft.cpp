@@ -1,0 +1,85 @@
+#include "dwt/fft.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace jwins::dwt {
+
+std::size_t next_pow2(std::size_t n) noexcept {
+  std::size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+void fft(std::span<std::complex<float>> data, bool inverse) {
+  const std::size_t n = data.size();
+  if (n == 0 || (n & (n - 1)) != 0) {
+    throw std::invalid_argument("fft requires a power-of-two length");
+  }
+  // Bit-reversal permutation.
+  for (std::size_t i = 1, j = 0; i < n; ++i) {
+    std::size_t bit = n >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j ^= bit;
+    if (i < j) std::swap(data[i], data[j]);
+  }
+  const double sign = inverse ? 1.0 : -1.0;
+  for (std::size_t len = 2; len <= n; len <<= 1) {
+    const double ang = sign * 2.0 * std::numbers::pi / static_cast<double>(len);
+    const std::complex<double> wlen(std::cos(ang), std::sin(ang));
+    for (std::size_t i = 0; i < n; i += len) {
+      std::complex<double> w(1.0, 0.0);
+      for (std::size_t k = 0; k < len / 2; ++k) {
+        const std::complex<double> u(data[i + k]);
+        const std::complex<double> v = std::complex<double>(data[i + k + len / 2]) * w;
+        data[i + k] = std::complex<float>(u + v);
+        data[i + k + len / 2] = std::complex<float>(u - v);
+        w *= wlen;
+      }
+    }
+  }
+  if (inverse) {
+    const float scale = 1.0f / static_cast<float>(n);
+    for (auto& c : data) c *= scale;
+  }
+}
+
+std::vector<std::complex<float>> fft_real(std::span<const float> input) {
+  const std::size_t n = next_pow2(input.size());
+  std::vector<std::complex<float>> data(n);
+  for (std::size_t i = 0; i < input.size(); ++i) data[i] = {input[i], 0.0f};
+  fft(data, /*inverse=*/false);
+  return data;
+}
+
+std::vector<float> ifft_real(std::span<const std::complex<float>> spectrum,
+                             std::size_t output_length) {
+  std::vector<std::complex<float>> data(spectrum.begin(), spectrum.end());
+  fft(data, /*inverse=*/true);
+  if (output_length > data.size()) {
+    throw std::invalid_argument("ifft_real: output length exceeds spectrum size");
+  }
+  std::vector<float> out(output_length);
+  for (std::size_t i = 0; i < output_length; ++i) out[i] = data[i].real();
+  return out;
+}
+
+std::vector<float> fft_sparsify_reconstruct(std::span<const float> input,
+                                            std::size_t budget_floats) {
+  auto spectrum = fft_real(input);
+  // A complex bin costs two floats; keep the top budget/2 bins by magnitude.
+  const std::size_t keep = std::min<std::size_t>(budget_floats / 2, spectrum.size());
+  std::vector<std::size_t> order(spectrum.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::nth_element(order.begin(), order.begin() + static_cast<std::ptrdiff_t>(keep),
+                   order.end(), [&](std::size_t a, std::size_t b) {
+                     return std::norm(spectrum[a]) > std::norm(spectrum[b]);
+                   });
+  std::vector<std::complex<float>> sparse(spectrum.size(), {0.0f, 0.0f});
+  for (std::size_t i = 0; i < keep; ++i) sparse[order[i]] = spectrum[order[i]];
+  return ifft_real(sparse, input.size());
+}
+
+}  // namespace jwins::dwt

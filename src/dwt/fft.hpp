@@ -1,0 +1,33 @@
+// Radix-2 complex FFT, used as the comparison transform in the Figure-2
+// reconstruction-error experiment (DWT vs FFT vs random sampling).
+#pragma once
+
+#include <complex>
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace jwins::dwt {
+
+/// Smallest power of two >= n (n == 0 maps to 1).
+std::size_t next_pow2(std::size_t n) noexcept;
+
+/// In-place iterative radix-2 FFT. `data.size()` must be a power of two.
+/// `inverse` applies the conjugate transform and 1/N scaling.
+void fft(std::span<std::complex<float>> data, bool inverse);
+
+/// Forward FFT of a real signal, zero-padded to the next power of two.
+std::vector<std::complex<float>> fft_real(std::span<const float> input);
+
+/// Inverse FFT returning the first `output_length` real parts.
+std::vector<float> ifft_real(std::span<const std::complex<float>> spectrum,
+                             std::size_t output_length);
+
+/// Sparsifies a real signal in the Fourier domain: keeps the `budget_floats`
+/// highest-magnitude spectrum bins (each complex bin costs two floats of
+/// budget, matching how the paper charges communication), zeroes the rest,
+/// and reconstructs. Used by the Figure-2 experiment.
+std::vector<float> fft_sparsify_reconstruct(std::span<const float> input,
+                                            std::size_t budget_floats);
+
+}  // namespace jwins::dwt

@@ -1,0 +1,43 @@
+// Orthonormal wavelet filter banks.
+//
+// JWINS uses a four-level discrete wavelet decomposition with Symlet-2
+// wavelets (paper §III-A). Symlet-2 has the same filter coefficients as
+// Daubechies-2, so `sym2()` and `db2()` return the same bank. Haar and Db4
+// are provided for the wavelet-choice ablations mentioned in the paper
+// ("we experimented with different wavelet functions").
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace jwins::dwt {
+
+/// An orthonormal wavelet: the scaling (low-pass) filter h plus the derived
+/// quadrature-mirror wavelet (high-pass) filter g[n] = (-1)^n h[L-1-n].
+struct Wavelet {
+  std::string name;
+  std::vector<float> lowpass;   ///< scaling filter h, sum = sqrt(2)
+  std::vector<float> highpass;  ///< wavelet filter g, derived from h
+
+  std::size_t length() const noexcept { return lowpass.size(); }
+};
+
+/// Builds a wavelet from its scaling filter (the high-pass is derived).
+Wavelet make_wavelet(std::string name, std::vector<float> scaling_filter);
+
+/// Haar (Db1): 2-tap filter.
+Wavelet haar();
+
+/// Daubechies-2: 4-tap filter. Identical to Symlet-2.
+Wavelet db2();
+
+/// Symlet-2 — the wavelet JWINS uses. Alias of db2().
+Wavelet sym2();
+
+/// Daubechies-4: 8-tap filter.
+Wavelet db4();
+
+/// Looks a wavelet up by name ("haar", "db2", "sym2", "db4").
+Wavelet wavelet_by_name(const std::string& name);
+
+}  // namespace jwins::dwt

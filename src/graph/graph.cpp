@@ -1,0 +1,254 @@
+#include "graph/graph.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <optional>
+#include <utility>
+#include <queue>
+#include <stdexcept>
+#include <string>
+
+namespace jwins::graph {
+
+void Graph::add_edge(std::size_t u, std::size_t v) {
+  if (u >= size() || v >= size()) {
+    throw std::out_of_range("Graph::add_edge: node out of range");
+  }
+  if (u == v || has_edge(u, v)) return;
+  adjacency_[u].push_back(v);
+  adjacency_[v].push_back(u);
+}
+
+void Graph::remove_edge(std::size_t u, std::size_t v) {
+  if (u >= size() || v >= size()) return;
+  auto& au = adjacency_[u];
+  auto& av = adjacency_[v];
+  au.erase(std::remove(au.begin(), au.end(), v), au.end());
+  av.erase(std::remove(av.begin(), av.end(), u), av.end());
+}
+
+bool Graph::has_edge(std::size_t u, std::size_t v) const {
+  if (u >= size() || v >= size()) return false;
+  const auto& adj = adjacency_[u];
+  return std::find(adj.begin(), adj.end(), v) != adj.end();
+}
+
+const std::vector<std::size_t>& Graph::neighbors(std::size_t u) const {
+  if (u >= size()) throw std::out_of_range("Graph::neighbors: node out of range");
+  return adjacency_[u];
+}
+
+std::size_t Graph::edge_count() const noexcept {
+  std::size_t total = 0;
+  for (const auto& adj : adjacency_) total += adj.size();
+  return total / 2;
+}
+
+bool Graph::connected() const {
+  if (size() == 0) return true;
+  std::vector<bool> seen(size(), false);
+  std::queue<std::size_t> frontier;
+  frontier.push(0);
+  seen[0] = true;
+  std::size_t visited = 1;
+  while (!frontier.empty()) {
+    const std::size_t u = frontier.front();
+    frontier.pop();
+    for (std::size_t v : adjacency_[u]) {
+      if (!seen[v]) {
+        seen[v] = true;
+        ++visited;
+        frontier.push(v);
+      }
+    }
+  }
+  return visited == size();
+}
+
+bool Graph::is_regular(std::size_t d) const {
+  for (std::size_t u = 0; u < size(); ++u) {
+    if (degree(u) != d) return false;
+  }
+  return true;
+}
+
+namespace {
+
+/// One Steger-Wormald pairing attempt: repeatedly connect two random
+/// unpaired stubs, rejecting self-loops and duplicate edges. Returns nullopt
+/// when the remaining stubs admit no legal pair (restart needed).
+std::optional<Graph> pairing_attempt(std::size_t n, std::size_t d,
+                                     std::mt19937& rng) {
+  std::vector<std::size_t> stubs;
+  stubs.reserve(n * d);
+  for (std::size_t u = 0; u < n; ++u) {
+    for (std::size_t j = 0; j < d; ++j) stubs.push_back(u);
+  }
+  Graph g(n);
+  while (!stubs.empty()) {
+    bool placed = false;
+    // Random probes; fall back to an exhaustive legality check before
+    // declaring the attempt stuck.
+    for (int probe = 0; probe < 64 && !placed; ++probe) {
+      std::uniform_int_distribution<std::size_t> pick(0, stubs.size() - 1);
+      std::size_t i = pick(rng), j = pick(rng);
+      if (i == j) continue;
+      const std::size_t u = stubs[i], v = stubs[j];
+      if (u == v || g.has_edge(u, v)) continue;
+      g.add_edge(u, v);
+      if (i < j) std::swap(i, j);
+      stubs.erase(stubs.begin() + static_cast<std::ptrdiff_t>(i));
+      stubs.erase(stubs.begin() + static_cast<std::ptrdiff_t>(j));
+      placed = true;
+    }
+    if (placed) continue;
+    bool any_legal = false;
+    for (std::size_t i = 0; i < stubs.size() && !any_legal; ++i) {
+      for (std::size_t j = i + 1; j < stubs.size() && !any_legal; ++j) {
+        if (stubs[i] != stubs[j] && !g.has_edge(stubs[i], stubs[j])) {
+          any_legal = true;
+        }
+      }
+    }
+    if (!any_legal) return std::nullopt;  // dead end: restart
+  }
+  return g;
+}
+
+/// Connects a d-regular simple graph by double edge swaps: an edge from one
+/// component and an edge from another are rewired crosswise, preserving all
+/// degrees and merging the components. Needed because e.g. random 2-regular
+/// graphs are disconnected with high probability.
+void connect_by_edge_swaps(Graph& g, std::mt19937& rng) {
+  const std::size_t n = g.size();
+  for (int guard = 0; guard < 10000 && !g.connected(); ++guard) {
+    // Label components.
+    std::vector<int> comp(n, -1);
+    int components = 0;
+    for (std::size_t start = 0; start < n; ++start) {
+      if (comp[start] != -1) continue;
+      const int c = components++;
+      std::vector<std::size_t> stack{start};
+      comp[start] = c;
+      while (!stack.empty()) {
+        const std::size_t u = stack.back();
+        stack.pop_back();
+        for (std::size_t v : g.neighbors(u)) {
+          if (comp[v] == -1) {
+            comp[v] = c;
+            stack.push_back(v);
+          }
+        }
+      }
+    }
+    if (components <= 1) return;
+    // Collect one random edge inside component 0 and one outside it, then
+    // swap endpoints: (a,b),(c,e) -> (a,c),(b,e) where legal.
+    std::vector<std::pair<std::size_t, std::size_t>> inside, outside;
+    for (std::size_t u = 0; u < n; ++u) {
+      for (std::size_t v : g.neighbors(u)) {
+        if (u < v) {
+          (comp[u] == 0 ? inside : outside).emplace_back(u, v);
+        }
+      }
+    }
+    if (inside.empty() || outside.empty()) return;  // isolated vertices: give up
+    std::uniform_int_distribution<std::size_t> pin(0, inside.size() - 1);
+    std::uniform_int_distribution<std::size_t> pout(0, outside.size() - 1);
+    const auto [a, b] = inside[pin(rng)];
+    const auto [c, e] = outside[pout(rng)];
+    if (g.has_edge(a, c) || g.has_edge(b, e)) continue;  // retry another pick
+    g.remove_edge(a, b);
+    g.remove_edge(c, e);
+    g.add_edge(a, c);
+    g.add_edge(b, e);
+  }
+}
+
+}  // namespace
+
+Graph random_regular(std::size_t n, std::size_t d, std::mt19937& rng) {
+  if (d >= n) throw std::invalid_argument("random_regular requires d < n");
+  if ((n * d) % 2 != 0) {
+    throw std::invalid_argument("random_regular requires n*d even");
+  }
+  if (d == 0) return Graph(n);
+  if (d == n - 1) return complete(n);
+  constexpr int kMaxAttempts = 200;
+  for (int attempt = 0; attempt < kMaxAttempts; ++attempt) {
+    std::optional<Graph> g = pairing_attempt(n, d, rng);
+    if (!g || !g->is_regular(d)) continue;
+    // d == 1 is a perfect matching: connectivity is impossible for n > 2 and
+    // the caller gets the matching as-is.
+    if (d >= 2) connect_by_edge_swaps(*g, rng);
+    if (d < 2 || g->connected()) return std::move(*g);
+  }
+  throw std::runtime_error("random_regular: failed to build a simple connected graph for n=" +
+                           std::to_string(n) + " d=" + std::to_string(d));
+}
+
+Graph ring(std::size_t n, std::size_t k) {
+  Graph g(n);
+  if (n < 2) return g;
+  for (std::size_t u = 0; u < n; ++u) {
+    for (std::size_t j = 1; j <= k; ++j) {
+      g.add_edge(u, (u + j) % n);
+    }
+  }
+  return g;
+}
+
+Graph complete(std::size_t n) {
+  Graph g(n);
+  for (std::size_t u = 0; u < n; ++u) {
+    for (std::size_t v = u + 1; v < n; ++v) g.add_edge(u, v);
+  }
+  return g;
+}
+
+Graph erdos_renyi(std::size_t n, double p, std::mt19937& rng) {
+  constexpr int kMaxAttempts = 200;
+  std::bernoulli_distribution coin(p);
+  for (int attempt = 0; attempt < kMaxAttempts; ++attempt) {
+    Graph g(n);
+    for (std::size_t u = 0; u < n; ++u) {
+      for (std::size_t v = u + 1; v < n; ++v) {
+        if (coin(rng)) g.add_edge(u, v);
+      }
+    }
+    if (g.connected()) return g;
+  }
+  throw std::runtime_error("erdos_renyi: failed to produce a connected graph");
+}
+
+MixingWeights metropolis_hastings(const Graph& g) {
+  MixingWeights w;
+  const std::size_t n = g.size();
+  w.neighbor_weight.resize(n);
+  w.self_weight.resize(n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto& nbrs = g.neighbors(i);
+    double total = 0.0;
+    w.neighbor_weight[i].reserve(nbrs.size());
+    for (std::size_t j : nbrs) {
+      const double wij =
+          1.0 / (1.0 + static_cast<double>(std::max(g.degree(i), g.degree(j))));
+      w.neighbor_weight[i].push_back(wij);
+      total += wij;
+    }
+    w.self_weight[i] = 1.0 - total;
+  }
+  return w;
+}
+
+const Graph& DynamicRegularTopology::round_graph(std::size_t t) {
+  if (t != cached_round_) {
+    // Seed deterministically per round so all nodes (and reruns) agree.
+    std::mt19937 rng(static_cast<std::uint32_t>(seed_ ^ (0x9E3779B97F4A7C15ull * (t + 1))));
+    cached_ = random_regular(n_, d_, rng);
+    cached_round_ = t;
+  }
+  return cached_;
+}
+
+}  // namespace jwins::graph

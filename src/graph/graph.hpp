@@ -1,0 +1,105 @@
+// Communication topologies for decentralized learning.
+//
+// The paper connects its 96 nodes in a random d-regular topology (d=4) and
+// grows the degree with node count in the scalability study (4,5,5,6). The
+// dynamic-topology experiment (Figure 7) re-randomizes neighbors every round.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <random>
+#include <vector>
+
+namespace jwins::graph {
+
+/// Undirected simple graph over nodes [0, n).
+class Graph {
+ public:
+  Graph() = default;
+  explicit Graph(std::size_t n) : adjacency_(n) {}
+
+  std::size_t size() const noexcept { return adjacency_.size(); }
+
+  /// Adds the undirected edge {u, v}. Ignores duplicates and self-loops.
+  void add_edge(std::size_t u, std::size_t v);
+
+  /// Removes the undirected edge {u, v} if present.
+  void remove_edge(std::size_t u, std::size_t v);
+
+  bool has_edge(std::size_t u, std::size_t v) const;
+
+  const std::vector<std::size_t>& neighbors(std::size_t u) const;
+
+  std::size_t degree(std::size_t u) const { return neighbors(u).size(); }
+
+  /// Total number of undirected edges.
+  std::size_t edge_count() const noexcept;
+
+  /// True if every node can reach every other node.
+  bool connected() const;
+
+  /// True if every node has degree d.
+  bool is_regular(std::size_t d) const;
+
+ private:
+  std::vector<std::vector<std::size_t>> adjacency_;
+};
+
+/// Random d-regular simple connected graph (pairing model with retries),
+/// as used for the paper's test bed. Requires n > d and n*d even.
+Graph random_regular(std::size_t n, std::size_t d, std::mt19937& rng);
+
+/// Ring lattice where each node connects to k nearest neighbors on each side.
+Graph ring(std::size_t n, std::size_t k = 1);
+
+/// Complete graph (the all-to-all setting the paper calls impractical; kept
+/// for tests and small-scale comparisons).
+Graph complete(std::size_t n);
+
+/// Erdos-Renyi G(n, p), retried until connected (p must be large enough).
+Graph erdos_renyi(std::size_t n, double p, std::mt19937& rng);
+
+/// Metropolis-Hastings mixing weights over a graph (Xiao & Boyd 2004), the
+/// weighting D-PSGD uses in the paper: w_ij = 1/(1+max(d_i,d_j)) on edges,
+/// w_ii = 1 - sum_j w_ij. Row i is returned densely over neighbors:
+/// weights[i] aligns with graph.neighbors(i); self_weight[i] = w_ii.
+struct MixingWeights {
+  std::vector<std::vector<double>> neighbor_weight;
+  std::vector<double> self_weight;
+};
+
+MixingWeights metropolis_hastings(const Graph& g);
+
+/// Provides the topology for each round: static (same graph forever) or
+/// dynamic (fresh random d-regular graph per round — Figure 7).
+class TopologyProvider {
+ public:
+  virtual ~TopologyProvider() = default;
+  /// Graph to use in round t. References stay valid until the next call.
+  virtual const Graph& round_graph(std::size_t t) = 0;
+};
+
+class StaticTopology final : public TopologyProvider {
+ public:
+  explicit StaticTopology(Graph g) : graph_(std::move(g)) {}
+  const Graph& round_graph(std::size_t) override { return graph_; }
+
+ private:
+  Graph graph_;
+};
+
+class DynamicRegularTopology final : public TopologyProvider {
+ public:
+  DynamicRegularTopology(std::size_t n, std::size_t d, std::uint64_t seed)
+      : n_(n), d_(d), seed_(seed) {}
+  const Graph& round_graph(std::size_t t) override;
+
+ private:
+  std::size_t n_;
+  std::size_t d_;
+  std::uint64_t seed_;
+  std::size_t cached_round_ = static_cast<std::size_t>(-1);
+  Graph cached_;
+};
+
+}  // namespace jwins::graph

@@ -1,0 +1,102 @@
+#include "net/network.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace jwins::net {
+
+void TrafficMeter::record_send(std::uint32_t sender, const Message& msg) {
+  NodeTraffic& t = per_node_.at(sender);
+  t.messages_sent += 1;
+  t.bytes_sent += msg.wire_size();
+  t.payload_bytes_sent += msg.payload_bytes();
+  t.metadata_bytes_sent += msg.metadata_bytes;
+}
+
+NodeTraffic TrafficMeter::total() const {
+  NodeTraffic sum;
+  for (const NodeTraffic& t : per_node_) {
+    sum.messages_sent += t.messages_sent;
+    sum.bytes_sent += t.bytes_sent;
+    sum.payload_bytes_sent += t.payload_bytes_sent;
+    sum.metadata_bytes_sent += t.metadata_bytes_sent;
+  }
+  return sum;
+}
+
+double TrafficMeter::average_bytes_per_node() const {
+  if (per_node_.empty()) return 0.0;
+  return static_cast<double>(total().bytes_sent) /
+         static_cast<double>(per_node_.size());
+}
+
+void TrafficMeter::reset() {
+  std::fill(per_node_.begin(), per_node_.end(), NodeTraffic{});
+}
+
+void Network::set_drop(double probability, std::uint64_t seed) {
+  if (probability < 0.0 || probability >= 1.0) {
+    throw std::invalid_argument("Network::set_drop: probability must be in [0, 1)");
+  }
+  drop_probability_ = probability;
+  drop_seed_ = seed;
+}
+
+namespace {
+
+// SplitMix64 finalizer: turns the (sender, receiver, round, seed) tuple into
+// a uniform 64-bit hash so drop decisions are deterministic and independent
+// of thread scheduling.
+std::uint64_t mix64(std::uint64_t x) noexcept {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+void Network::send(std::uint32_t to, Message msg) {
+  if (to >= mailboxes_.size()) {
+    throw std::out_of_range("Network::send: destination out of range");
+  }
+  if (msg.sender >= mailboxes_.size()) {
+    throw std::out_of_range("Network::send: sender out of range");
+  }
+  const std::size_t wire = msg.wire_size();
+  bool drop = false;
+  if (drop_probability_ > 0.0) {
+    const std::uint64_t h = mix64(drop_seed_ ^ mix64(msg.sender) ^
+                                  mix64(std::uint64_t{to} << 20) ^
+                                  mix64(std::uint64_t{msg.round} << 40));
+    drop = static_cast<double>(h) / 18446744073709551616.0 < drop_probability_;
+  }
+  {
+    std::lock_guard<std::mutex> lock(meter_lock_);
+    meter_.record_send(msg.sender, msg);
+    round_bytes_[msg.sender] += wire;
+    if (drop) ++dropped_;
+  }
+  if (drop) return;  // the bytes left the sender but never arrive
+  std::lock_guard<std::mutex> lock(mailbox_locks_[to]);
+  mailboxes_[to].push_back(std::move(msg));
+}
+
+std::vector<Message> Network::drain(std::uint32_t node) {
+  if (node >= mailboxes_.size()) {
+    throw std::out_of_range("Network::drain: node out of range");
+  }
+  std::lock_guard<std::mutex> lock(mailbox_locks_[node]);
+  std::vector<Message> out;
+  out.swap(mailboxes_[node]);
+  return out;
+}
+
+void Network::finish_round(double compute_seconds) {
+  std::uint64_t max_bytes = 0;
+  for (std::uint64_t b : round_bytes_) max_bytes = std::max(max_bytes, b);
+  sim_seconds_ += compute_seconds + link_.comm_time(max_bytes);
+  std::fill(round_bytes_.begin(), round_bytes_.end(), 0);
+}
+
+}  // namespace jwins::net

@@ -1,0 +1,127 @@
+// In-process simulated message-passing network with byte accounting.
+//
+// Substitution for the paper's ZeroMQ-over-TCP deployment: nodes exchange
+// fully serialized byte buffers through per-node mailboxes; a TrafficMeter
+// records payload vs. metadata bytes per node (the split behind Figures 4/9),
+// and a LinkModel converts per-round byte volumes into simulated wall-clock
+// time (the basis of the paper's time-to-accuracy comparisons).
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+namespace jwins::net {
+
+/// One decentralized-learning message: a serialized body plus accounting of
+/// how many of its bytes are sparsification metadata (index lists, seeds).
+struct Message {
+  std::uint32_t sender = 0;
+  std::uint32_t round = 0;
+  std::vector<std::uint8_t> body;
+  std::size_t metadata_bytes = 0;  ///< portion of body that is metadata
+
+  /// Fixed per-message envelope: sender + round + body length (TCP/framing
+  /// overhead abstracted into a flat constant, identical for all algorithms).
+  static constexpr std::size_t kEnvelopeBytes = 12;
+
+  std::size_t wire_size() const noexcept { return body.size() + kEnvelopeBytes; }
+  std::size_t payload_bytes() const noexcept {
+    return body.size() - metadata_bytes;
+  }
+};
+
+/// Per-node cumulative traffic counters.
+struct NodeTraffic {
+  std::uint64_t messages_sent = 0;
+  std::uint64_t bytes_sent = 0;           ///< wire bytes including envelope
+  std::uint64_t payload_bytes_sent = 0;   ///< model parameter bytes
+  std::uint64_t metadata_bytes_sent = 0;  ///< index/seed metadata bytes
+};
+
+/// Aggregates traffic across nodes and rounds. The engine updates node i's
+/// counters only from the thread driving node i, so no locking is needed on
+/// the hot path; totals are computed on demand.
+class TrafficMeter {
+ public:
+  explicit TrafficMeter(std::size_t n) : per_node_(n) {}
+
+  void record_send(std::uint32_t sender, const Message& msg);
+
+  const NodeTraffic& node(std::size_t i) const { return per_node_.at(i); }
+  std::size_t node_count() const noexcept { return per_node_.size(); }
+
+  NodeTraffic total() const;
+
+  /// Average wire bytes sent per node (the y-axis of the paper's
+  /// "average cumulative data sent per node" plots).
+  double average_bytes_per_node() const;
+
+  void reset();
+
+ private:
+  std::vector<NodeTraffic> per_node_;
+};
+
+/// Simple bandwidth/latency link model: the simulated duration of one
+/// communication phase is max over nodes of (bytes_i / bandwidth + latency)
+/// — nodes communicate in parallel, the slowest link gates the round, as in
+/// a synchronous D-PSGD deployment on a shared cluster.
+struct LinkModel {
+  double bandwidth_bytes_per_sec = 12.5e6;  ///< 100 Mbit/s default
+  double latency_sec = 2e-3;
+
+  double comm_time(std::uint64_t max_node_bytes) const noexcept {
+    return latency_sec +
+           static_cast<double>(max_node_bytes) / bandwidth_bytes_per_sec;
+  }
+};
+
+/// Synchronous mailbox fabric: all sends in round t are visible to receivers
+/// in the same round's aggregate phase (D-PSGD is bulk-synchronous).
+class Network {
+ public:
+  Network(std::size_t n, LinkModel link = {})
+      : mailboxes_(n), meter_(n), link_(link) {}
+
+  std::size_t size() const noexcept { return mailboxes_.size(); }
+
+  /// Enables lossy-link failure injection: each message is independently
+  /// dropped with probability `probability` (deterministic given `seed`:
+  /// the decision hashes (sender, receiver, round, seed), so runs are
+  /// reproducible regardless of thread scheduling). Dropped messages still
+  /// count as sent bytes — the sender paid for them — and are tallied in
+  /// messages_dropped().
+  void set_drop(double probability, std::uint64_t seed);
+
+  /// Messages discarded by failure injection so far.
+  std::uint64_t messages_dropped() const noexcept { return dropped_; }
+
+  /// Queues `msg` for `to` and records traffic against msg.sender.
+  /// Thread-safe across concurrent senders.
+  void send(std::uint32_t to, Message msg);
+
+  /// Drains node i's mailbox (receiver's view of the round).
+  std::vector<Message> drain(std::uint32_t node);
+
+  /// Advances the simulated clock by one round: compute phase plus the
+  /// communication time implied by this round's per-node send volumes.
+  void finish_round(double compute_seconds);
+
+  const TrafficMeter& traffic() const noexcept { return meter_; }
+  double simulated_seconds() const noexcept { return sim_seconds_; }
+
+ private:
+  std::vector<std::vector<Message>> mailboxes_;
+  std::vector<std::mutex> mailbox_locks_{mailboxes_.size()};
+  TrafficMeter meter_;
+  LinkModel link_;
+  double sim_seconds_ = 0.0;
+  std::vector<std::uint64_t> round_bytes_{std::vector<std::uint64_t>(mailboxes_.size(), 0)};
+  std::mutex meter_lock_;
+  double drop_probability_ = 0.0;
+  std::uint64_t drop_seed_ = 0;
+  std::uint64_t dropped_ = 0;
+};
+
+}  // namespace jwins::net

@@ -1,0 +1,48 @@
+// Minimal fork-join helper: runs fn(i) for i in [0, n) across worker
+// threads. Used by the experiment engine to drive many simulated nodes per
+// phase. With threads == 1 execution is strictly sequential and
+// deterministic (the default for reproducible experiments).
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <thread>
+#include <vector>
+
+namespace jwins::net {
+
+inline void parallel_for(std::size_t n, unsigned threads,
+                         const std::function<void(std::size_t)>& fn) {
+  if (n == 0) return;
+  if (threads <= 1 || n == 1) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  const unsigned workers = static_cast<unsigned>(
+      std::min<std::size_t>(threads, n));
+  std::atomic<std::size_t> next{0};
+  std::vector<std::thread> pool;
+  pool.reserve(workers);
+  std::exception_ptr error;
+  std::atomic<bool> failed{false};
+  for (unsigned w = 0; w < workers; ++w) {
+    pool.emplace_back([&] {
+      for (;;) {
+        const std::size_t i = next.fetch_add(1);
+        if (i >= n || failed.load()) return;
+        try {
+          fn(i);
+        } catch (...) {
+          if (!failed.exchange(true)) error = std::current_exception();
+          return;
+        }
+      }
+    });
+  }
+  for (auto& t : pool) t.join();
+  if (failed.load() && error) std::rethrow_exception(error);
+}
+
+}  // namespace jwins::net

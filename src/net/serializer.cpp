@@ -1,0 +1,53 @@
+#include "net/serializer.hpp"
+
+namespace jwins::net {
+
+void ByteWriter::write_bytes(std::span<const std::uint8_t> bytes) {
+  write_u32(static_cast<std::uint32_t>(bytes.size()));
+  buffer_.insert(buffer_.end(), bytes.begin(), bytes.end());
+}
+
+void ByteWriter::write_f32_array(std::span<const float> values) {
+  write_u32(static_cast<std::uint32_t>(values.size()));
+  const auto* p = reinterpret_cast<const std::uint8_t*>(values.data());
+  buffer_.insert(buffer_.end(), p, p + values.size() * sizeof(float));
+}
+
+void ByteWriter::write_u32_array(std::span<const std::uint32_t> values) {
+  write_u32(static_cast<std::uint32_t>(values.size()));
+  const auto* p = reinterpret_cast<const std::uint8_t*>(values.data());
+  buffer_.insert(buffer_.end(), p, p + values.size() * sizeof(std::uint32_t));
+}
+
+std::vector<std::uint8_t> ByteReader::read_bytes() {
+  const std::uint32_t n = read_u32();
+  if (remaining() < n) throw std::out_of_range("ByteReader: truncated blob");
+  std::vector<std::uint8_t> out(bytes_.begin() + static_cast<std::ptrdiff_t>(pos_),
+                                bytes_.begin() + static_cast<std::ptrdiff_t>(pos_ + n));
+  pos_ += n;
+  return out;
+}
+
+std::vector<float> ByteReader::read_f32_array() {
+  const std::uint32_t n = read_u32();
+  if (remaining() < n * sizeof(float)) {
+    throw std::out_of_range("ByteReader: truncated float array");
+  }
+  std::vector<float> out(n);
+  std::memcpy(out.data(), bytes_.data() + pos_, n * sizeof(float));
+  pos_ += n * sizeof(float);
+  return out;
+}
+
+std::vector<std::uint32_t> ByteReader::read_u32_array() {
+  const std::uint32_t n = read_u32();
+  if (remaining() < n * sizeof(std::uint32_t)) {
+    throw std::out_of_range("ByteReader: truncated u32 array");
+  }
+  std::vector<std::uint32_t> out(n);
+  std::memcpy(out.data(), bytes_.data() + pos_, n * sizeof(std::uint32_t));
+  pos_ += n * sizeof(std::uint32_t);
+  return out;
+}
+
+}  // namespace jwins::net

@@ -1,0 +1,43 @@
+#include "nn/flat.hpp"
+
+#include <stdexcept>
+
+namespace jwins::nn {
+
+std::size_t flat_size(const std::vector<tensor::Tensor*>& tensors) {
+  std::size_t total = 0;
+  for (const tensor::Tensor* t : tensors) total += t->size();
+  return total;
+}
+
+void copy_to_flat(const std::vector<tensor::Tensor*>& tensors,
+                  std::span<float> out) {
+  if (out.size() != flat_size(tensors)) {
+    throw std::invalid_argument("copy_to_flat: output size mismatch");
+  }
+  std::size_t off = 0;
+  for (const tensor::Tensor* t : tensors) {
+    for (std::size_t i = 0; i < t->size(); ++i) out[off + i] = (*t)[i];
+    off += t->size();
+  }
+}
+
+std::vector<float> to_flat(const std::vector<tensor::Tensor*>& tensors) {
+  std::vector<float> out(flat_size(tensors));
+  copy_to_flat(tensors, out);
+  return out;
+}
+
+void copy_from_flat(const std::vector<tensor::Tensor*>& tensors,
+                    std::span<const float> flat) {
+  if (flat.size() != flat_size(tensors)) {
+    throw std::invalid_argument("copy_from_flat: input size mismatch");
+  }
+  std::size_t off = 0;
+  for (tensor::Tensor* t : tensors) {
+    for (std::size_t i = 0; i < t->size(); ++i) (*t)[i] = flat[off + i];
+    off += t->size();
+  }
+}
+
+}  // namespace jwins::nn

@@ -1,0 +1,30 @@
+// Flat-parameter-vector view over a model.
+//
+// JWINS "considers models as flat vectors of parameters" (paper §IV-G b):
+// the wavelet transform, TopK selection, averaging and all byte accounting
+// operate on one contiguous float vector. These helpers copy between a
+// model's parameter tensors and that flat vector.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace jwins::nn {
+
+/// Total number of scalars across the given tensors.
+std::size_t flat_size(const std::vector<tensor::Tensor*>& tensors);
+
+/// Concatenates tensors into `out` (size must equal flat_size()).
+void copy_to_flat(const std::vector<tensor::Tensor*>& tensors,
+                  std::span<float> out);
+
+/// Convenience allocating variant.
+std::vector<float> to_flat(const std::vector<tensor::Tensor*>& tensors);
+
+/// Splits `flat` back into the tensors (sizes must line up).
+void copy_from_flat(const std::vector<tensor::Tensor*>& tensors,
+                    std::span<const float> flat);
+
+}  // namespace jwins::nn

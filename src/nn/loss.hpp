@@ -1,0 +1,33 @@
+// Loss functions. Each returns the mean loss over the batch and writes
+// dL/d(input) for the backward pass.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "tensor/tensor.hpp"
+
+namespace jwins::nn {
+
+using tensor::Tensor;
+
+struct LossResult {
+  float loss = 0.0f;
+  Tensor grad;  ///< dL/d(input), mean-reduced over the batch
+};
+
+/// Numerically-stable softmax cross-entropy over logits [B, C] with integer
+/// class labels. Mean reduction.
+LossResult softmax_cross_entropy(const Tensor& logits,
+                                 std::span<const std::int32_t> labels);
+
+/// Row-wise softmax probabilities of logits [B, C] (used for evaluation).
+Tensor softmax(const Tensor& logits);
+
+/// Mean squared error between predictions and targets of identical shape.
+LossResult mse_loss(const Tensor& predictions, const Tensor& targets);
+
+/// Top-1 accuracy of logits [B, C] against labels.
+double accuracy(const Tensor& logits, std::span<const std::int32_t> labels);
+
+}  // namespace jwins::nn

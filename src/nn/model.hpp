@@ -1,0 +1,66 @@
+// Task-level model interface used by the decentralized training algorithms.
+//
+// A Batch covers all three paper task families:
+//  * classification: x = images/features, labels = class ids
+//  * recommendation: x = [B, 2] (user id, item id), y = ratings
+//  * next-char prediction: x = [B, T] token ids, labels = B*T next tokens
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace jwins::nn {
+
+using tensor::Tensor;
+
+struct Batch {
+  Tensor x;                          ///< inputs (task-specific layout)
+  std::vector<std::int32_t> labels;  ///< integer targets (classification/chars)
+  Tensor y;                          ///< float targets (regression/ratings)
+
+  std::size_t size() const noexcept { return x.rank() > 0 ? x.dim(0) : 0; }
+};
+
+struct EvalMetrics {
+  double loss = 0.0;
+  double accuracy = 0.0;  ///< task-defined: top-1, within-0.5-star, per-char
+  std::size_t samples = 0;
+};
+
+/// A trainable model with a flat-parameter view. Implementations own their
+/// layers and optimizer-facing parameter/gradient lists.
+class SupervisedModel {
+ public:
+  virtual ~SupervisedModel() = default;
+
+  /// Forward+backward on one batch; accumulates gradients, returns mean loss.
+  virtual float loss_and_grad(const Batch& batch) = 0;
+
+  /// Loss/accuracy without touching gradients.
+  virtual EvalMetrics evaluate(const Batch& batch) = 0;
+
+  virtual std::vector<Tensor*> parameters() = 0;
+  virtual std::vector<Tensor*> gradients() = 0;
+
+  void zero_grad() {
+    for (Tensor* g : gradients()) g->zero();
+  }
+
+  /// Number of scalars in the flat parameter vector.
+  std::size_t parameter_count() {
+    std::size_t n = 0;
+    for (Tensor* p : parameters()) n += p->size();
+    return n;
+  }
+};
+
+/// Builds a fresh model. All nodes in an experiment share one factory seeded
+/// identically so they start from the same point x^(0,0), as the paper's
+/// Algorithm 1 requires.
+using ModelFactory = std::function<std::unique_ptr<SupervisedModel>()>;
+
+}  // namespace jwins::nn

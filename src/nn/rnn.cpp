@@ -1,0 +1,209 @@
+#include "nn/rnn.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace jwins::nn {
+
+Embedding::Embedding(std::size_t vocab, std::size_t dim, std::mt19937& rng)
+    : vocab_(vocab),
+      dim_(dim),
+      weight_({vocab, dim}),
+      grad_weight_({vocab, dim}) {
+  weight_ = Tensor::normal({vocab, dim}, 0.0f, 0.1f, rng);
+}
+
+Tensor Embedding::forward(const Tensor& input) {
+  if (input.rank() != 2) {
+    throw std::invalid_argument("Embedding: expected [B, T] token ids");
+  }
+  cached_input_ = input;
+  const std::size_t batch = input.dim(0), steps = input.dim(1);
+  Tensor out({batch, steps, dim_});
+  for (std::size_t b = 0; b < batch; ++b) {
+    for (std::size_t t = 0; t < steps; ++t) {
+      const auto token = static_cast<std::size_t>(input[b * steps + t]);
+      if (token >= vocab_) {
+        throw std::out_of_range("Embedding: token id out of range");
+      }
+      for (std::size_t d = 0; d < dim_; ++d) {
+        out[(b * steps + t) * dim_ + d] = weight_[token * dim_ + d];
+      }
+    }
+  }
+  return out;
+}
+
+Tensor Embedding::backward(const Tensor& grad_output) {
+  const std::size_t batch = cached_input_.dim(0), steps = cached_input_.dim(1);
+  if (grad_output.size() != batch * steps * dim_) {
+    throw std::invalid_argument("Embedding::backward: grad shape mismatch");
+  }
+  for (std::size_t b = 0; b < batch; ++b) {
+    for (std::size_t t = 0; t < steps; ++t) {
+      const auto token = static_cast<std::size_t>(cached_input_[b * steps + t]);
+      for (std::size_t d = 0; d < dim_; ++d) {
+        grad_weight_[token * dim_ + d] += grad_output[(b * steps + t) * dim_ + d];
+      }
+    }
+  }
+  return Tensor(cached_input_.shape());  // indices carry no gradient
+}
+
+Lstm::Lstm(std::size_t input_dim, std::size_t hidden, std::mt19937& rng)
+    : input_dim_(input_dim),
+      hidden_(hidden),
+      w_x_({4 * hidden, input_dim}),
+      w_h_({4 * hidden, hidden}),
+      bias_({4 * hidden}),
+      grad_w_x_({4 * hidden, input_dim}),
+      grad_w_h_({4 * hidden, hidden}),
+      grad_bias_({4 * hidden}) {
+  const float bound = 1.0f / std::sqrt(static_cast<float>(hidden));
+  w_x_ = Tensor::uniform(w_x_.shape(), -bound, bound, rng);
+  w_h_ = Tensor::uniform(w_h_.shape(), -bound, bound, rng);
+  bias_ = Tensor::uniform(bias_.shape(), -bound, bound, rng);
+  // Positive forget-gate bias: standard trick to keep early memory alive.
+  for (std::size_t i = hidden; i < 2 * hidden; ++i) bias_[i] += 1.0f;
+}
+
+Tensor Lstm::forward(const Tensor& input) {
+  if (input.rank() != 3 || input.dim(2) != input_dim_) {
+    throw std::invalid_argument("Lstm: expected [B, T, " +
+                                std::to_string(input_dim_) + "], got " +
+                                tensor::to_string(input.shape()));
+  }
+  cached_input_ = input;
+  const std::size_t batch = input.dim(0), steps = input.dim(1);
+  const std::size_t H = hidden_;
+  gate_i_.assign(steps, Tensor());
+  gate_f_.assign(steps, Tensor());
+  gate_g_.assign(steps, Tensor());
+  gate_o_.assign(steps, Tensor());
+  cell_.assign(steps, Tensor());
+  tanh_cell_.assign(steps, Tensor());
+  h_prev_.assign(steps, Tensor());
+  c_prev_.assign(steps, Tensor());
+
+  Tensor h({batch, H});
+  Tensor c({batch, H});
+  Tensor out({batch, steps, H});
+  for (std::size_t t = 0; t < steps; ++t) {
+    h_prev_[t] = h;
+    c_prev_[t] = c;
+    // x_t as a [B, D] matrix.
+    Tensor xt({batch, input_dim_});
+    for (std::size_t b = 0; b < batch; ++b) {
+      for (std::size_t d = 0; d < input_dim_; ++d) {
+        xt[b * input_dim_ + d] = input[(b * steps + t) * input_dim_ + d];
+      }
+    }
+    Tensor z = tensor::matmul_nt(xt, w_x_);  // [B, 4H]
+    z += tensor::matmul_nt(h, w_h_);
+    for (std::size_t b = 0; b < batch; ++b) {
+      for (std::size_t j = 0; j < 4 * H; ++j) z[b * 4 * H + j] += bias_[j];
+    }
+    Tensor gi({batch, H}), gf({batch, H}), gg({batch, H}), go({batch, H});
+    Tensor ct({batch, H}), tc({batch, H}), ht({batch, H});
+    for (std::size_t b = 0; b < batch; ++b) {
+      for (std::size_t j = 0; j < H; ++j) {
+        const float zi = z[b * 4 * H + j];
+        const float zf = z[b * 4 * H + H + j];
+        const float zg = z[b * 4 * H + 2 * H + j];
+        const float zo = z[b * 4 * H + 3 * H + j];
+        const float iv = 1.0f / (1.0f + std::exp(-zi));
+        const float fv = 1.0f / (1.0f + std::exp(-zf));
+        const float gv = std::tanh(zg);
+        const float ov = 1.0f / (1.0f + std::exp(-zo));
+        const float cv = fv * c[b * H + j] + iv * gv;
+        const float tcv = std::tanh(cv);
+        gi[b * H + j] = iv;
+        gf[b * H + j] = fv;
+        gg[b * H + j] = gv;
+        go[b * H + j] = ov;
+        ct[b * H + j] = cv;
+        tc[b * H + j] = tcv;
+        ht[b * H + j] = ov * tcv;
+        out[(b * steps + t) * H + j] = ht[b * H + j];
+      }
+    }
+    gate_i_[t] = std::move(gi);
+    gate_f_[t] = std::move(gf);
+    gate_g_[t] = std::move(gg);
+    gate_o_[t] = std::move(go);
+    cell_[t] = ct;
+    tanh_cell_[t] = std::move(tc);
+    h = std::move(ht);
+    c = std::move(ct);
+  }
+  return out;
+}
+
+Tensor Lstm::backward(const Tensor& grad_output) {
+  const Tensor& input = cached_input_;
+  const std::size_t batch = input.dim(0), steps = input.dim(1);
+  const std::size_t H = hidden_;
+  if (grad_output.size() != batch * steps * H) {
+    throw std::invalid_argument("Lstm::backward: grad shape mismatch");
+  }
+  Tensor grad_input(input.shape());
+  Tensor dh_next({batch, H});
+  Tensor dc_next({batch, H});
+  for (std::size_t t = steps; t-- > 0;) {
+    // dh_t = upstream slice + gradient flowing back from step t+1.
+    Tensor dh = dh_next;
+    for (std::size_t b = 0; b < batch; ++b) {
+      for (std::size_t j = 0; j < H; ++j) {
+        dh[b * H + j] += grad_output[(b * steps + t) * H + j];
+      }
+    }
+    Tensor dz({batch, 4 * H});
+    Tensor dc_prev({batch, H});
+    for (std::size_t b = 0; b < batch; ++b) {
+      for (std::size_t j = 0; j < H; ++j) {
+        const float iv = gate_i_[t][b * H + j];
+        const float fv = gate_f_[t][b * H + j];
+        const float gv = gate_g_[t][b * H + j];
+        const float ov = gate_o_[t][b * H + j];
+        const float tcv = tanh_cell_[t][b * H + j];
+        const float dhv = dh[b * H + j];
+        float dc = dc_next[b * H + j] + dhv * ov * (1.0f - tcv * tcv);
+        const float do_pre = dhv * tcv * ov * (1.0f - ov);
+        const float di_pre = dc * gv * iv * (1.0f - iv);
+        const float df_pre = dc * c_prev_[t][b * H + j] * fv * (1.0f - fv);
+        const float dg_pre = dc * iv * (1.0f - gv * gv);
+        dz[b * 4 * H + j] = di_pre;
+        dz[b * 4 * H + H + j] = df_pre;
+        dz[b * 4 * H + 2 * H + j] = dg_pre;
+        dz[b * 4 * H + 3 * H + j] = do_pre;
+        dc_prev[b * H + j] = dc * fv;
+      }
+    }
+    // Parameter gradients.
+    Tensor xt({batch, input_dim_});
+    for (std::size_t b = 0; b < batch; ++b) {
+      for (std::size_t d = 0; d < input_dim_; ++d) {
+        xt[b * input_dim_ + d] = input[(b * steps + t) * input_dim_ + d];
+      }
+    }
+    grad_w_x_ += tensor::matmul_tn(dz, xt);
+    grad_w_h_ += tensor::matmul_tn(dz, h_prev_[t]);
+    for (std::size_t b = 0; b < batch; ++b) {
+      for (std::size_t j = 0; j < 4 * H; ++j) {
+        grad_bias_[j] += dz[b * 4 * H + j];
+      }
+    }
+    // Input and recurrent gradients.
+    Tensor dx = tensor::matmul(dz, w_x_);  // [B, D]
+    for (std::size_t b = 0; b < batch; ++b) {
+      for (std::size_t d = 0; d < input_dim_; ++d) {
+        grad_input[(b * steps + t) * input_dim_ + d] = dx[b * input_dim_ + d];
+      }
+    }
+    dh_next = tensor::matmul(dz, w_h_);  // [B, H]
+    dc_next = std::move(dc_prev);
+  }
+  return grad_input;
+}
+
+}  // namespace jwins::nn

@@ -1,0 +1,50 @@
+#include "nn/sgd.hpp"
+
+#include <stdexcept>
+
+namespace jwins::nn {
+
+Sgd::Sgd(std::vector<tensor::Tensor*> params,
+         std::vector<tensor::Tensor*> grads, Options options)
+    : params_(std::move(params)), grads_(std::move(grads)), options_(options) {
+  if (params_.size() != grads_.size()) {
+    throw std::invalid_argument("Sgd: params/grads size mismatch");
+  }
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    if (!params_[i]->same_shape(*grads_[i])) {
+      throw std::invalid_argument("Sgd: param/grad shape mismatch at index " +
+                                  std::to_string(i));
+    }
+  }
+}
+
+void Sgd::step() {
+  const float lr = options_.learning_rate;
+  const float wd = options_.weight_decay;
+  const float mu = options_.momentum;
+  if (mu != 0.0f && velocity_.empty()) {
+    velocity_.reserve(params_.size());
+    for (tensor::Tensor* p : params_) velocity_.emplace_back(p->shape());
+  }
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    tensor::Tensor& p = *params_[i];
+    const tensor::Tensor& g = *grads_[i];
+    if (mu == 0.0f) {
+      for (std::size_t j = 0; j < p.size(); ++j) {
+        p[j] -= lr * (g[j] + wd * p[j]);
+      }
+    } else {
+      tensor::Tensor& v = velocity_[i];
+      for (std::size_t j = 0; j < p.size(); ++j) {
+        v[j] = mu * v[j] + g[j] + wd * p[j];
+        p[j] -= lr * v[j];
+      }
+    }
+  }
+}
+
+void Sgd::zero_grad() {
+  for (tensor::Tensor* g : grads_) g->zero();
+}
+
+}  // namespace jwins::nn

@@ -1,0 +1,39 @@
+// Plain SGD, matching the paper's optimizer choice ("basic SGD optimizer
+// without momentum", §IV-B). Momentum and weight decay are available for the
+// extension experiments but default to off.
+#pragma once
+
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace jwins::nn {
+
+class Sgd {
+ public:
+  struct Options {
+    float learning_rate = 0.01f;
+    float momentum = 0.0f;
+    float weight_decay = 0.0f;
+  };
+
+  Sgd(std::vector<tensor::Tensor*> params, std::vector<tensor::Tensor*> grads,
+      Options options);
+
+  /// Applies one update: p -= lr * (g + wd * p) (+ momentum buffer if set).
+  void step();
+
+  /// Clears all gradient tensors.
+  void zero_grad();
+
+  float learning_rate() const noexcept { return options_.learning_rate; }
+  void set_learning_rate(float lr) noexcept { options_.learning_rate = lr; }
+
+ private:
+  std::vector<tensor::Tensor*> params_;
+  std::vector<tensor::Tensor*> grads_;
+  Options options_;
+  std::vector<tensor::Tensor> velocity_;  // lazily sized when momentum > 0
+};
+
+}  // namespace jwins::nn

@@ -1,0 +1,165 @@
+#include "sim/experiment.hpp"
+
+#include <stdexcept>
+
+#include "data/dataset.hpp"
+#include "net/parallel.hpp"
+
+namespace jwins::sim {
+
+const char* algorithm_name(Algorithm algorithm) {
+  switch (algorithm) {
+    case Algorithm::kFullSharing: return "full-sharing";
+    case Algorithm::kRandomSampling: return "random-sampling";
+    case Algorithm::kJwins: return "jwins";
+    case Algorithm::kChoco: return "choco";
+    case Algorithm::kPowerGossip: return "power-gossip";
+  }
+  return "unknown";
+}
+
+Experiment::Experiment(ExperimentConfig config, nn::ModelFactory factory,
+                       const data::Dataset& train, data::Partition partition,
+                       const data::Dataset& test,
+                       std::unique_ptr<graph::TopologyProvider> topology)
+    : config_(std::move(config)),
+      test_(&test),
+      topology_(std::move(topology)),
+      network_(partition.size(), config_.link) {
+  const std::size_t n = partition.size();
+  if (n == 0) throw std::invalid_argument("Experiment: empty partition");
+  nodes_.reserve(n);
+  algo::TrainConfig train_config{config_.local_steps, config_.sgd};
+  for (std::size_t i = 0; i < n; ++i) {
+    auto model = factory();
+    data::Sampler sampler(train, partition[i], /*batch_size=*/
+                          std::max<std::size_t>(1, std::min<std::size_t>(
+                                                       16, partition[i].size())),
+                          config_.seed * 7919 + i);
+    const auto rank = static_cast<std::uint32_t>(i);
+    switch (config_.algorithm) {
+      case Algorithm::kFullSharing:
+        nodes_.push_back(std::make_unique<algo::FullSharingNode>(
+            rank, std::move(model), std::move(sampler), train_config));
+        break;
+      case Algorithm::kRandomSampling:
+        nodes_.push_back(std::make_unique<algo::RandomSamplingNode>(
+            rank, std::move(model), std::move(sampler), train_config,
+            config_.random_sampling_fraction, config_.seed));
+        break;
+      case Algorithm::kJwins:
+        nodes_.push_back(std::make_unique<algo::JwinsNode>(
+            rank, std::move(model), std::move(sampler), train_config,
+            config_.jwins));
+        break;
+      case Algorithm::kChoco:
+        nodes_.push_back(std::make_unique<algo::ChocoNode>(
+            rank, std::move(model), std::move(sampler), train_config,
+            config_.choco));
+        break;
+      case Algorithm::kPowerGossip:
+        nodes_.push_back(std::make_unique<algo::PowerGossipNode>(
+            rank, std::move(model), std::move(sampler), train_config,
+            config_.power_gossip));
+        break;
+    }
+  }
+  eval_batch_ = data::full_batch(*test_, config_.eval_sample_limit);
+  if (config_.message_drop_probability > 0.0) {
+    network_.set_drop(config_.message_drop_probability, config_.seed);
+  }
+}
+
+MetricPoint Experiment::evaluate(std::size_t round, double train_loss) {
+  MetricPoint point;
+  point.round = round;
+  point.sim_seconds = network_.simulated_seconds();
+  point.train_loss = train_loss;
+  const std::size_t limit = config_.eval_node_limit == 0
+                                ? nodes_.size()
+                                : std::min(config_.eval_node_limit, nodes_.size());
+  double acc = 0.0, loss = 0.0;
+  std::vector<nn::EvalMetrics> metrics(limit);
+  net::parallel_for(limit, config_.threads, [&](std::size_t i) {
+    metrics[i] = nodes_[i]->model().evaluate(eval_batch_);
+  });
+  for (const auto& m : metrics) {
+    acc += m.accuracy;
+    loss += m.loss;
+  }
+  point.test_accuracy = acc / static_cast<double>(limit);
+  point.test_loss = loss / static_cast<double>(limit);
+  point.avg_bytes_per_node = network_.traffic().average_bytes_per_node();
+  point.avg_metadata_bytes_per_node =
+      static_cast<double>(network_.traffic().total().metadata_bytes_sent) /
+      static_cast<double>(nodes_.size());
+  return point;
+}
+
+ExperimentResult Experiment::run() {
+  ExperimentResult result;
+  const std::size_t n = nodes_.size();
+  std::vector<float> train_losses(n, 0.0f);
+  for (std::size_t t = 0; t < config_.rounds; ++t) {
+    const graph::Graph& g = topology_->round_graph(t);
+    if (g.size() != n) {
+      throw std::logic_error("Experiment: topology size != node count");
+    }
+    const graph::MixingWeights weights = graph::metropolis_hastings(g);
+
+    net::parallel_for(n, config_.threads, [&](std::size_t i) {
+      train_losses[i] = nodes_[i]->local_train();
+    });
+    net::parallel_for(n, config_.threads, [&](std::size_t i) {
+      nodes_[i]->share(network_, g, weights,
+                       static_cast<std::uint32_t>(t));
+    });
+    net::parallel_for(n, config_.threads, [&](std::size_t i) {
+      nodes_[i]->aggregate(network_, g, weights,
+                           static_cast<std::uint32_t>(t));
+    });
+    network_.finish_round(config_.compute_seconds_per_round);
+    result.rounds_run = t + 1;
+
+    if (config_.lr_decay_every > 0 && (t + 1) % config_.lr_decay_every == 0) {
+      for (auto& node : nodes_) {
+        node->set_learning_rate(static_cast<float>(
+            node->learning_rate() * config_.lr_decay_factor));
+      }
+    }
+
+    if (config_.algorithm == Algorithm::kJwins) {
+      for (const auto& node : nodes_) {
+        alpha_sum_ += static_cast<algo::JwinsNode&>(*node).last_alpha();
+        ++alpha_samples_;
+      }
+    }
+
+    const bool last_round = (t + 1 == config_.rounds);
+    if (t % config_.eval_every == 0 || last_round) {
+      double mean_train_loss = 0.0;
+      for (float l : train_losses) mean_train_loss += l;
+      mean_train_loss /= static_cast<double>(n);
+      const MetricPoint point = evaluate(t + 1, mean_train_loss);
+      result.series.push_back(point);
+      if (config_.target_accuracy > 0.0 &&
+          point.test_accuracy >= config_.target_accuracy) {
+        result.reached_target = true;
+        break;
+      }
+    }
+  }
+  if (result.series.empty()) {
+    result.series.push_back(evaluate(result.rounds_run, 0.0));
+  }
+  const MetricPoint& last = result.series.back();
+  result.final_accuracy = last.test_accuracy;
+  result.final_loss = last.test_loss;
+  result.sim_seconds = network_.simulated_seconds();
+  result.total_traffic = network_.traffic().total();
+  result.mean_alpha =
+      alpha_samples_ == 0 ? 0.0 : alpha_sum_ / static_cast<double>(alpha_samples_);
+  return result;
+}
+
+}  // namespace jwins::sim

@@ -1,0 +1,125 @@
+// Experiment runner: wires a dataset partition, a model factory, a topology
+// and one of the four algorithms into the bulk-synchronous D-PSGD round loop
+// (train -> share -> aggregate), collecting the metrics the paper reports
+// (paper §IV-B g): average test accuracy/loss across nodes, bytes
+// transferred (payload vs metadata), and simulated wall-clock time.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "algo/choco.hpp"
+#include "algo/full_sharing.hpp"
+#include "algo/jwins_node.hpp"
+#include "algo/power_gossip.hpp"
+#include "algo/random_sampling.hpp"
+#include "data/partition.hpp"
+#include "graph/graph.hpp"
+#include "net/network.hpp"
+#include "nn/model.hpp"
+
+namespace jwins::sim {
+
+enum class Algorithm {
+  kFullSharing,
+  kRandomSampling,
+  kJwins,
+  kChoco,
+  kPowerGossip,
+};
+
+const char* algorithm_name(Algorithm algorithm);
+
+struct ExperimentConfig {
+  Algorithm algorithm = Algorithm::kJwins;
+  std::size_t rounds = 100;
+
+  /// If > 0, stop as soon as mean test accuracy reaches this value (the
+  /// Figure 5/6 "rounds to target accuracy" protocol). `rounds` then acts
+  /// as the cap.
+  double target_accuracy = -1.0;
+
+  std::size_t local_steps = 1;  ///< tau
+  nn::Sgd::Options sgd;
+
+  /// Step learning-rate schedule: every `lr_decay_every` rounds multiply
+  /// the learning rate by `lr_decay_factor` (1.0 = constant, the paper's
+  /// setting).
+  double lr_decay_factor = 1.0;
+  std::size_t lr_decay_every = 0;  ///< 0 = no decay
+
+  /// Failure injection: probability that any message is dropped in flight
+  /// (0 = reliable network). Exercises the partial-averaging robustness the
+  /// paper credits JWINS for ("flexible to nodes leaving and joining").
+  double message_drop_probability = 0.0;
+
+  std::size_t eval_every = 10;
+  std::size_t eval_sample_limit = 512;  ///< test subsample per evaluation
+  std::size_t eval_node_limit = 0;      ///< 0 = evaluate every node
+
+  unsigned threads = 1;  ///< 1 = fully deterministic sequential engine
+  std::uint64_t seed = 1;
+
+  /// Simulated compute cost per round (identical across algorithms; the
+  /// paper's compute is dominated by the same tau SGD steps everywhere).
+  double compute_seconds_per_round = 0.05;
+  net::LinkModel link;
+
+  // Algorithm-specific knobs.
+  double random_sampling_fraction = 0.37;
+  algo::JwinsNode::Options jwins;
+  algo::ChocoNode::Options choco;
+  algo::PowerGossipNode::Options power_gossip;
+};
+
+struct MetricPoint {
+  std::size_t round = 0;
+  double sim_seconds = 0.0;
+  double test_accuracy = 0.0;
+  double test_loss = 0.0;
+  double train_loss = 0.0;
+  double avg_bytes_per_node = 0.0;
+  double avg_metadata_bytes_per_node = 0.0;
+};
+
+struct ExperimentResult {
+  std::vector<MetricPoint> series;
+  std::size_t rounds_run = 0;
+  double sim_seconds = 0.0;
+  net::NodeTraffic total_traffic;
+  double final_accuracy = 0.0;
+  double final_loss = 0.0;
+  bool reached_target = false;
+  double mean_alpha = 0.0;  ///< JWINS only: observed mean sharing fraction
+};
+
+class Experiment {
+ public:
+  Experiment(ExperimentConfig config, nn::ModelFactory factory,
+             const data::Dataset& train, data::Partition partition,
+             const data::Dataset& test,
+             std::unique_ptr<graph::TopologyProvider> topology);
+
+  ExperimentResult run();
+
+  /// Direct access for tests and probes.
+  algo::DlNode& node(std::size_t i) { return *nodes_.at(i); }
+  std::size_t node_count() const noexcept { return nodes_.size(); }
+  const net::Network& network() const noexcept { return network_; }
+
+ private:
+  MetricPoint evaluate(std::size_t round, double train_loss);
+
+  ExperimentConfig config_;
+  const data::Dataset* test_;
+  std::unique_ptr<graph::TopologyProvider> topology_;
+  net::Network network_;
+  std::vector<std::unique_ptr<algo::DlNode>> nodes_;
+  nn::Batch eval_batch_;
+  double alpha_sum_ = 0.0;
+  std::size_t alpha_samples_ = 0;
+};
+
+}  // namespace jwins::sim

@@ -1,0 +1,59 @@
+#include "sim/report.hpp"
+
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+namespace jwins::sim {
+
+std::string format_bytes(double bytes) {
+  static const char* kUnits[] = {"B", "KiB", "MiB", "GiB", "TiB"};
+  int unit = 0;
+  while (bytes >= 1024.0 && unit < 4) {
+    bytes /= 1024.0;
+    ++unit;
+  }
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(bytes < 10 ? 2 : 1) << bytes << ' '
+     << kUnits[unit];
+  return os.str();
+}
+
+std::string format_seconds(double seconds) {
+  std::ostringstream os;
+  os << std::fixed;
+  if (seconds < 120.0) {
+    os << std::setprecision(1) << seconds << " s";
+  } else {
+    os << std::setprecision(1) << seconds / 60.0 << " min";
+  }
+  return os.str();
+}
+
+void print_series_csv(std::ostream& os, const std::string& label,
+                      const ExperimentResult& result) {
+  os << "# series: " << label << "\n";
+  os << "round,sim_seconds,test_accuracy,test_loss,avg_bytes_per_node,"
+        "avg_metadata_bytes_per_node\n";
+  for (const MetricPoint& p : result.series) {
+    os << p.round << ',' << std::fixed << std::setprecision(3) << p.sim_seconds
+       << ',' << std::setprecision(4) << p.test_accuracy << ','
+       << p.test_loss << ',' << std::setprecision(0) << p.avg_bytes_per_node
+       << ',' << p.avg_metadata_bytes_per_node << "\n";
+  }
+}
+
+void print_summary_row(std::ostream& os, const std::string& dataset,
+                       const std::string& algorithm,
+                       const ExperimentResult& result) {
+  const double avg_bytes =
+      result.series.empty() ? 0.0 : result.series.back().avg_bytes_per_node;
+  os << std::left << std::setw(14) << dataset << std::setw(18) << algorithm
+     << std::right << "acc=" << std::fixed << std::setprecision(1)
+     << result.final_accuracy * 100.0 << "%  loss=" << std::setprecision(3)
+     << result.final_loss << "  rounds=" << result.rounds_run
+     << "  data/node=" << format_bytes(avg_bytes)
+     << "  sim-time=" << format_seconds(result.sim_seconds) << "\n";
+}
+
+}  // namespace jwins::sim

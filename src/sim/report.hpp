@@ -1,0 +1,27 @@
+// Console reporting helpers: the benches print the same rows/series the
+// paper's tables and figures show, via these formatters.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "sim/experiment.hpp"
+
+namespace jwins::sim {
+
+/// "1.23 KiB" / "4.56 MiB" / "7.89 GiB" formatting.
+std::string format_bytes(double bytes);
+
+/// "12.3 s" / "4.5 min" formatting.
+std::string format_seconds(double seconds);
+
+/// Prints a metric series as CSV: round,sim_seconds,acc,loss,bytes,metadata.
+void print_series_csv(std::ostream& os, const std::string& label,
+                      const ExperimentResult& result);
+
+/// One Table-I style summary row.
+void print_summary_row(std::ostream& os, const std::string& dataset,
+                       const std::string& algorithm,
+                       const ExperimentResult& result);
+
+}  // namespace jwins::sim

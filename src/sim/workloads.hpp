@@ -1,0 +1,63 @@
+// Canonical workloads mirroring the paper's five evaluation datasets
+// (§IV-B), built from the synthetic generators. One function per dataset;
+// every bench and example uses these so "CIFAR-10-like" means the same thing
+// everywhere. The `scale` knob multiplies sample counts (1.0 = bench-sized;
+// the paper-scale runs pass larger values and more nodes).
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "data/partition.hpp"
+#include "data/synthetic.hpp"
+#include "nn/model.hpp"
+#include "nn/models.hpp"
+
+namespace jwins::sim {
+
+struct Workload {
+  std::string name;
+  std::shared_ptr<const data::Dataset> train;
+  std::shared_ptr<const data::Dataset> test;
+  data::Partition partition;        ///< per-node train index sets
+  nn::ModelFactory model_factory;   ///< identical initial model for all nodes
+  float suggested_lr = 0.05f;       ///< grid-searched default, per paper SIV-B
+  std::size_t suggested_local_steps = 2;  ///< tau (rounds per epoch knob)
+};
+
+/// CIFAR-10 stand-in: 10-class images, sort-and-shard non-IID split
+/// (2 shards/node, <= 4 classes per node), GN-LeNet-style CNN.
+Workload make_cifar_like(std::size_t nodes, std::uint32_t seed,
+                         double scale = 1.0);
+
+/// MovieLens stand-in: low-rank ratings, users dealt to nodes, matrix
+/// factorization with embeddings.
+Workload make_movielens_like(std::size_t nodes, std::uint32_t seed,
+                             double scale = 1.0);
+
+/// Shakespeare stand-in: per-client Markov character streams, stacked LSTM.
+Workload make_shakespeare_like(std::size_t nodes, std::uint32_t seed,
+                               double scale = 1.0);
+
+/// CelebA stand-in: binary image attribute, client-grouped, small CNN.
+Workload make_celeba_like(std::size_t nodes, std::uint32_t seed,
+                          double scale = 1.0);
+
+/// FEMNIST stand-in: 12-class images with per-client writing style, CNN.
+Workload make_femnist_like(std::size_t nodes, std::uint32_t seed,
+                           double scale = 1.0);
+
+/// CIFAR-10 stand-in with the *less strict* 4-shards-per-node partitioning
+/// used by the scalability study (paper §IV-F).
+Workload make_cifar_like_4shard(std::size_t nodes, std::uint32_t seed,
+                                double scale = 1.0);
+
+/// Dispatch by name ("cifar", "movielens", "shakespeare", "celeba",
+/// "femnist").
+Workload make_workload(const std::string& name, std::size_t nodes,
+                       std::uint32_t seed, double scale = 1.0);
+
+/// The five names in paper order.
+const std::vector<std::string>& workload_names();
+
+}  // namespace jwins::sim

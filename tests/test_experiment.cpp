@@ -1,0 +1,216 @@
+#include "sim/experiment.hpp"
+
+#include <gtest/gtest.h>
+
+#include "nn/flat.hpp"
+#include "sim/report.hpp"
+#include "sim/workloads.hpp"
+
+namespace jwins::sim {
+namespace {
+
+ExperimentConfig base_config(Algorithm algorithm, std::size_t rounds) {
+  ExperimentConfig cfg;
+  cfg.algorithm = algorithm;
+  cfg.rounds = rounds;
+  cfg.local_steps = 2;
+  cfg.sgd.learning_rate = 0.05f;
+  cfg.eval_every = rounds;  // evaluate at the end only (fast)
+  cfg.eval_sample_limit = 128;
+  cfg.eval_node_limit = 4;
+  return cfg;
+}
+
+std::unique_ptr<graph::TopologyProvider> static_topo(std::size_t n,
+                                                     std::size_t d,
+                                                     unsigned seed) {
+  std::mt19937 rng(seed);
+  return std::make_unique<graph::StaticTopology>(graph::random_regular(n, d, rng));
+}
+
+TEST(Workloads, AllFiveBuildAndPartition) {
+  for (const auto& name : workload_names()) {
+    const Workload w = make_workload(name, 8, 3);
+    EXPECT_EQ(w.partition.size(), 8u) << name;
+    EXPECT_GT(w.train->size(), 0u) << name;
+    EXPECT_GT(w.test->size(), 0u) << name;
+    for (const auto& shard : w.partition) EXPECT_FALSE(shard.empty()) << name;
+    auto model = w.model_factory();
+    EXPECT_GT(model->parameter_count(), 0u) << name;
+    // The factory must give every node the same starting point.
+    auto model2 = w.model_factory();
+    auto f1 = nn::to_flat(model->parameters());
+    auto f2 = nn::to_flat(model2->parameters());
+    EXPECT_EQ(f1, f2) << name;
+  }
+}
+
+TEST(Workloads, CifarShardingIsNonIid) {
+  const Workload w = make_cifar_like(8, 1);
+  for (const auto& shard : w.partition) {
+    EXPECT_LE(data::distinct_labels(*w.train, shard), 4u);
+  }
+}
+
+TEST(Workloads, UnknownNameThrows) {
+  EXPECT_THROW(make_workload("imagenet", 4, 1), std::invalid_argument);
+}
+
+TEST(Experiment, FullSharingImprovesAccuracy) {
+  const std::size_t n = 8;
+  Workload w = make_cifar_like(n, 5);
+  auto cfg = base_config(Algorithm::kFullSharing, 30);
+  Experiment before(cfg, w.model_factory, *w.train, w.partition, *w.test,
+                    static_topo(n, 4, 5));
+  // Round-0 accuracy of the shared initial model:
+  auto initial_model = w.model_factory();
+  const auto init_metrics =
+      initial_model->evaluate(data::full_batch(*w.test, 128));
+  const ExperimentResult result = before.run();
+  EXPECT_GT(result.final_accuracy, init_metrics.accuracy + 0.1);
+  EXPECT_GT(result.final_accuracy, 0.25);  // well above 10-class chance
+  EXPECT_EQ(result.rounds_run, 30u);
+  EXPECT_GT(result.total_traffic.bytes_sent, 0u);
+}
+
+TEST(Experiment, JwinsRunsAndTracksAlpha) {
+  const std::size_t n = 8;
+  Workload w = make_cifar_like(n, 6);
+  auto cfg = base_config(Algorithm::kJwins, 20);
+  Experiment exp(cfg, w.model_factory, *w.train, w.partition, *w.test,
+                 static_topo(n, 4, 6));
+  const ExperimentResult result = exp.run();
+  // Mean observed alpha should approximate E[alpha] = 0.343.
+  EXPECT_GT(result.mean_alpha, 0.2);
+  EXPECT_LT(result.mean_alpha, 0.5);
+  EXPECT_GT(result.final_accuracy, 0.15);
+}
+
+TEST(Experiment, JwinsSendsFewerBytesThanFullSharing) {
+  const std::size_t n = 8;
+  Workload w = make_cifar_like(n, 7);
+  auto full_cfg = base_config(Algorithm::kFullSharing, 15);
+  auto jwins_cfg = base_config(Algorithm::kJwins, 15);
+  Experiment full(full_cfg, w.model_factory, *w.train, w.partition, *w.test,
+                  static_topo(n, 4, 7));
+  Experiment jw(jwins_cfg, w.model_factory, *w.train, w.partition, *w.test,
+                static_topo(n, 4, 7));
+  const auto full_result = full.run();
+  const auto jwins_result = jw.run();
+  // The paper's headline: >60% fewer bytes. Require at least 40% here to
+  // keep the test robust at tiny scale.
+  EXPECT_LT(jwins_result.total_traffic.bytes_sent,
+            full_result.total_traffic.bytes_sent * 0.6);
+}
+
+TEST(Experiment, RandomSamplingAndChocoRun) {
+  const std::size_t n = 8;
+  Workload w = make_femnist_like(n, 8);
+  auto rs_cfg = base_config(Algorithm::kRandomSampling, 10);
+  rs_cfg.random_sampling_fraction = 0.37;
+  Experiment rs(rs_cfg, w.model_factory, *w.train, w.partition, *w.test,
+                static_topo(n, 4, 8));
+  EXPECT_GT(rs.run().final_accuracy, 0.0);
+
+  auto choco_cfg = base_config(Algorithm::kChoco, 10);
+  choco_cfg.choco.gamma = 0.5;
+  choco_cfg.choco.fraction = 0.2;
+  Experiment choco(choco_cfg, w.model_factory, *w.train, w.partition, *w.test,
+                   static_topo(n, 4, 8));
+  EXPECT_GT(choco.run().final_accuracy, 0.0);
+}
+
+TEST(Experiment, TargetAccuracyStopsEarly) {
+  const std::size_t n = 8;
+  Workload w = make_celeba_like(n, 9);
+  auto cfg = base_config(Algorithm::kFullSharing, 100);
+  cfg.eval_every = 2;
+  cfg.target_accuracy = 0.40;  // trivially reachable on a binary task
+  Experiment exp(cfg, w.model_factory, *w.train, w.partition, *w.test,
+                 static_topo(n, 4, 9));
+  const ExperimentResult result = exp.run();
+  EXPECT_TRUE(result.reached_target);
+  EXPECT_LT(result.rounds_run, 100u);
+}
+
+TEST(Experiment, ThreadedAndSequentialProduceIdenticalTraffic) {
+  const std::size_t n = 8;
+  Workload w = make_cifar_like(n, 10);
+  auto cfg = base_config(Algorithm::kJwins, 8);
+  Experiment seq(cfg, w.model_factory, *w.train, w.partition, *w.test,
+                 static_topo(n, 4, 10));
+  cfg.threads = 4;
+  Experiment par(cfg, w.model_factory, *w.train, w.partition, *w.test,
+                 static_topo(n, 4, 10));
+  const auto a = seq.run();
+  const auto b = par.run();
+  // Message counts are exactly deterministic. Byte counts can drift by a
+  // hair: mailbox arrival order changes float summation order in the
+  // averaging, which can flip TopK tie-breaks in later rounds.
+  EXPECT_EQ(a.total_traffic.messages_sent, b.total_traffic.messages_sent);
+  const auto near = [](std::uint64_t x, std::uint64_t y) {
+    const double dx = static_cast<double>(x), dy = static_cast<double>(y);
+    return std::abs(dx - dy) <= 0.01 * std::max(dx, dy);
+  };
+  EXPECT_TRUE(near(a.total_traffic.bytes_sent, b.total_traffic.bytes_sent));
+  EXPECT_TRUE(near(a.total_traffic.metadata_bytes_sent,
+                   b.total_traffic.metadata_bytes_sent));
+}
+
+TEST(Experiment, DynamicTopologyRuns) {
+  const std::size_t n = 8;
+  Workload w = make_cifar_like(n, 11);
+  auto cfg = base_config(Algorithm::kJwins, 10);
+  Experiment exp(cfg, w.model_factory, *w.train, w.partition, *w.test,
+                 std::make_unique<graph::DynamicRegularTopology>(n, 4, 11));
+  const ExperimentResult result = exp.run();
+  EXPECT_EQ(result.rounds_run, 10u);
+  EXPECT_GT(result.final_accuracy, 0.0);
+}
+
+TEST(Experiment, SimulatedTimeAdvances) {
+  const std::size_t n = 4;
+  Workload w = make_celeba_like(n, 12);
+  auto cfg = base_config(Algorithm::kFullSharing, 5);
+  cfg.compute_seconds_per_round = 1.0;
+  Experiment exp(cfg, w.model_factory, *w.train, w.partition, *w.test,
+                 static_topo(n, 3, 12));
+  const ExperimentResult result = exp.run();
+  EXPECT_GE(result.sim_seconds, 5.0);  // at least the compute time
+}
+
+TEST(Experiment, MetricSeriesIsMonotoneInRoundsAndBytes) {
+  const std::size_t n = 8;
+  Workload w = make_femnist_like(n, 13);
+  auto cfg = base_config(Algorithm::kJwins, 12);
+  cfg.eval_every = 3;
+  Experiment exp(cfg, w.model_factory, *w.train, w.partition, *w.test,
+                 static_topo(n, 4, 13));
+  const ExperimentResult result = exp.run();
+  ASSERT_GE(result.series.size(), 3u);
+  for (std::size_t i = 1; i < result.series.size(); ++i) {
+    EXPECT_GT(result.series[i].round, result.series[i - 1].round);
+    EXPECT_GE(result.series[i].avg_bytes_per_node,
+              result.series[i - 1].avg_bytes_per_node);
+    EXPECT_GE(result.series[i].sim_seconds, result.series[i - 1].sim_seconds);
+  }
+}
+
+TEST(Report, FormattersProduceReadableUnits) {
+  EXPECT_EQ(format_bytes(512), "512.0 B");
+  EXPECT_EQ(format_bytes(2048), "2.00 KiB");
+  EXPECT_EQ(format_bytes(5.5 * 1024 * 1024), "5.50 MiB");
+  EXPECT_EQ(format_bytes(3.0 * 1024 * 1024 * 1024), "3.00 GiB");
+  EXPECT_EQ(format_seconds(30.0), "30.0 s");
+  EXPECT_EQ(format_seconds(600.0), "10.0 min");
+}
+
+TEST(AlgorithmName, AllNamesDistinct) {
+  EXPECT_STREQ(algorithm_name(Algorithm::kFullSharing), "full-sharing");
+  EXPECT_STREQ(algorithm_name(Algorithm::kRandomSampling), "random-sampling");
+  EXPECT_STREQ(algorithm_name(Algorithm::kJwins), "jwins");
+  EXPECT_STREQ(algorithm_name(Algorithm::kChoco), "choco");
+}
+
+}  // namespace
+}  // namespace jwins::sim

@@ -1,0 +1,138 @@
+#include "dwt/fft.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+
+namespace jwins::dwt {
+namespace {
+
+TEST(Fft, NextPow2) {
+  EXPECT_EQ(next_pow2(0), 1u);
+  EXPECT_EQ(next_pow2(1), 1u);
+  EXPECT_EQ(next_pow2(2), 2u);
+  EXPECT_EQ(next_pow2(3), 4u);
+  EXPECT_EQ(next_pow2(1023), 1024u);
+  EXPECT_EQ(next_pow2(1024), 1024u);
+}
+
+TEST(Fft, RejectsNonPowerOfTwo) {
+  std::vector<std::complex<float>> data(6);
+  EXPECT_THROW(fft(data, false), std::invalid_argument);
+}
+
+TEST(Fft, DeltaFunctionHasFlatSpectrum) {
+  std::vector<std::complex<float>> data(8, {0.0f, 0.0f});
+  data[0] = {1.0f, 0.0f};
+  fft(data, false);
+  for (const auto& c : data) {
+    EXPECT_NEAR(c.real(), 1.0f, 1e-5f);
+    EXPECT_NEAR(c.imag(), 0.0f, 1e-5f);
+  }
+}
+
+TEST(Fft, ConstantSignalIsDcBin) {
+  std::vector<std::complex<float>> data(8, {2.0f, 0.0f});
+  fft(data, false);
+  EXPECT_NEAR(data[0].real(), 16.0f, 1e-4f);
+  for (std::size_t i = 1; i < data.size(); ++i) {
+    EXPECT_NEAR(std::abs(data[i]), 0.0f, 1e-4f);
+  }
+}
+
+TEST(Fft, SingleToneLandsInCorrectBin) {
+  const std::size_t n = 16;
+  std::vector<std::complex<float>> data(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    data[i] = {std::cos(2.0f * 3.14159265f * 3.0f * i / n), 0.0f};
+  }
+  fft(data, false);
+  // cos(2*pi*3t/N) -> bins 3 and N-3 with magnitude N/2.
+  EXPECT_NEAR(std::abs(data[3]), n / 2.0f, 1e-3f);
+  EXPECT_NEAR(std::abs(data[n - 3]), n / 2.0f, 1e-3f);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (i != 3 && i != n - 3) {
+      EXPECT_NEAR(std::abs(data[i]), 0.0f, 1e-3f);
+    }
+  }
+}
+
+TEST(Fft, RoundTripIdentity) {
+  std::mt19937 rng(5);
+  std::normal_distribution<float> dist(0.0f, 1.0f);
+  std::vector<std::complex<float>> data(64);
+  std::vector<std::complex<float>> orig(64);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    data[i] = {dist(rng), dist(rng)};
+    orig[i] = data[i];
+  }
+  fft(data, false);
+  fft(data, true);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    EXPECT_NEAR(data[i].real(), orig[i].real(), 1e-4f);
+    EXPECT_NEAR(data[i].imag(), orig[i].imag(), 1e-4f);
+  }
+}
+
+TEST(Fft, ParsevalHolds) {
+  std::mt19937 rng(9);
+  std::normal_distribution<float> dist(0.0f, 1.0f);
+  std::vector<std::complex<float>> data(128);
+  double time_energy = 0.0;
+  for (auto& c : data) {
+    c = {dist(rng), 0.0f};
+    time_energy += std::norm(c);
+  }
+  fft(data, false);
+  double freq_energy = 0.0;
+  for (const auto& c : data) freq_energy += std::norm(c);
+  EXPECT_NEAR(freq_energy / (128.0 * time_energy), 1.0, 1e-3);
+}
+
+TEST(FftReal, PadsAndInverts) {
+  std::vector<float> x(100);
+  std::mt19937 rng(3);
+  std::normal_distribution<float> dist(0.0f, 1.0f);
+  for (float& v : x) v = dist(rng);
+  const auto spectrum = fft_real(x);
+  EXPECT_EQ(spectrum.size(), 128u);
+  const auto back = ifft_real(spectrum, x.size());
+  ASSERT_EQ(back.size(), x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) EXPECT_NEAR(back[i], x[i], 1e-4f);
+}
+
+TEST(FftSparsify, FullBudgetReconstructsExactly) {
+  std::vector<float> x(64);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    x[i] = std::sin(0.1f * static_cast<float>(i));
+  }
+  // Budget of 2*spectrum floats keeps every bin.
+  const auto back = fft_sparsify_reconstruct(x, 2 * 64);
+  for (std::size_t i = 0; i < x.size(); ++i) EXPECT_NEAR(back[i], x[i], 1e-4f);
+}
+
+TEST(FftSparsify, SmoothSignalSurvivesSmallBudget) {
+  const std::size_t n = 256;
+  std::vector<float> x(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    x[i] = std::sin(2.0f * 3.14159265f * 4.0f * i / n) +
+           0.5f * std::cos(2.0f * 3.14159265f * 9.0f * i / n);
+  }
+  const auto back = fft_sparsify_reconstruct(x, n / 10);
+  double err = 0.0, ref = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    err += (back[i] - x[i]) * (back[i] - x[i]);
+    ref += x[i] * x[i];
+  }
+  EXPECT_LT(err / ref, 0.05);  // two tones fit easily in a 10% budget
+}
+
+TEST(FftSparsify, ZeroBudgetGivesZeroSignal) {
+  std::vector<float> x(32, 1.0f);
+  const auto back = fft_sparsify_reconstruct(x, 0);
+  for (float v : back) EXPECT_NEAR(v, 0.0f, 1e-6f);
+}
+
+}  // namespace
+}  // namespace jwins::dwt

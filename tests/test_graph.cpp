@@ -1,0 +1,195 @@
+#include "graph/graph.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+namespace jwins::graph {
+namespace {
+
+TEST(Graph, AddEdgeBasics) {
+  Graph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(1, 0));  // undirected
+  EXPECT_FALSE(g.has_edge(0, 2));
+  EXPECT_EQ(g.edge_count(), 2u);
+  EXPECT_EQ(g.degree(1), 2u);
+}
+
+TEST(Graph, IgnoresSelfLoopsAndDuplicates) {
+  Graph g(3);
+  g.add_edge(0, 0);
+  g.add_edge(0, 1);
+  g.add_edge(0, 1);
+  g.add_edge(1, 0);
+  EXPECT_EQ(g.edge_count(), 1u);
+  EXPECT_EQ(g.degree(0), 1u);
+}
+
+TEST(Graph, OutOfRangeThrows) {
+  Graph g(2);
+  EXPECT_THROW(g.add_edge(0, 5), std::out_of_range);
+  EXPECT_THROW(g.neighbors(9), std::out_of_range);
+}
+
+TEST(Graph, Connectivity) {
+  Graph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(2, 3);
+  EXPECT_FALSE(g.connected());
+  g.add_edge(1, 2);
+  EXPECT_TRUE(g.connected());
+  EXPECT_TRUE(Graph(0).connected());
+  EXPECT_TRUE(Graph(1).connected());
+}
+
+struct RegularCase {
+  std::size_t n, d;
+};
+
+class RandomRegularParam : public ::testing::TestWithParam<RegularCase> {};
+
+TEST_P(RandomRegularParam, RegularSimpleConnected) {
+  const auto [n, d] = GetParam();
+  std::mt19937 rng(n * 31 + d);
+  const Graph g = random_regular(n, d, rng);
+  EXPECT_EQ(g.size(), n);
+  EXPECT_TRUE(g.is_regular(d));
+  EXPECT_TRUE(g.connected());
+  EXPECT_EQ(g.edge_count(), n * d / 2);
+  // Simple graph: no self loops, no duplicate neighbors.
+  for (std::size_t u = 0; u < n; ++u) {
+    auto nbrs = g.neighbors(u);
+    std::sort(nbrs.begin(), nbrs.end());
+    EXPECT_TRUE(std::adjacent_find(nbrs.begin(), nbrs.end()) == nbrs.end());
+    EXPECT_TRUE(std::find(nbrs.begin(), nbrs.end(), u) == nbrs.end());
+  }
+}
+
+// The paper's settings: 96 nodes d=4; scalability uses 192/288 d=5, 384 d=6.
+INSTANTIATE_TEST_SUITE_P(PaperTopologies, RandomRegularParam,
+                         ::testing::Values(RegularCase{8, 3}, RegularCase{16, 4},
+                                           RegularCase{96, 4}, RegularCase{192, 5},
+                                           RegularCase{288, 5}, RegularCase{384, 6},
+                                           RegularCase{10, 9}, RegularCase{96, 6}));
+
+TEST(RandomRegular, InvalidParamsThrow) {
+  std::mt19937 rng(1);
+  EXPECT_THROW(random_regular(4, 4, rng), std::invalid_argument);   // d >= n
+  EXPECT_THROW(random_regular(5, 3, rng), std::invalid_argument);   // n*d odd
+}
+
+TEST(RandomRegular, DegreeOneIsPerfectMatching) {
+  std::mt19937 rng(2);
+  const graph::Graph g = random_regular(6, 1, rng);
+  EXPECT_TRUE(g.is_regular(1));
+  EXPECT_EQ(g.edge_count(), 3u);
+  // d = 1 on n > 2 cannot be connected; the matching is returned as-is.
+  EXPECT_FALSE(g.connected());
+}
+
+TEST(RandomRegular, ZeroDegreeGivesEmptyGraph) {
+  std::mt19937 rng(1);
+  const Graph g = random_regular(4, 0, rng);
+  EXPECT_EQ(g.edge_count(), 0u);
+}
+
+TEST(Ring, StructureAndDegrees) {
+  const Graph g = ring(6, 1);
+  EXPECT_TRUE(g.is_regular(2));
+  EXPECT_TRUE(g.connected());
+  EXPECT_TRUE(g.has_edge(0, 5));
+  const Graph g2 = ring(8, 2);
+  EXPECT_TRUE(g2.is_regular(4));
+}
+
+TEST(Complete, AllPairs) {
+  const Graph g = complete(5);
+  EXPECT_EQ(g.edge_count(), 10u);
+  EXPECT_TRUE(g.is_regular(4));
+}
+
+TEST(ErdosRenyi, ConnectedResult) {
+  std::mt19937 rng(4);
+  const Graph g = erdos_renyi(30, 0.3, rng);
+  EXPECT_TRUE(g.connected());
+  EXPECT_EQ(g.size(), 30u);
+}
+
+TEST(MetropolisHastings, RowsSumToOne) {
+  std::mt19937 rng(9);
+  const Graph g = random_regular(16, 4, rng);
+  const MixingWeights w = metropolis_hastings(g);
+  for (std::size_t i = 0; i < g.size(); ++i) {
+    double total = w.self_weight[i];
+    for (double wij : w.neighbor_weight[i]) total += wij;
+    EXPECT_NEAR(total, 1.0, 1e-9);
+    EXPECT_GE(w.self_weight[i], 0.0);
+  }
+}
+
+TEST(MetropolisHastings, SymmetricAcrossEdges) {
+  std::mt19937 rng(10);
+  const Graph g = erdos_renyi(20, 0.25, rng);  // irregular degrees
+  const MixingWeights w = metropolis_hastings(g);
+  for (std::size_t i = 0; i < g.size(); ++i) {
+    const auto& nbrs = g.neighbors(i);
+    for (std::size_t k = 0; k < nbrs.size(); ++k) {
+      const std::size_t j = nbrs[k];
+      // Find w_ji.
+      const auto& jn = g.neighbors(j);
+      double w_ji = -1.0;
+      for (std::size_t m = 0; m < jn.size(); ++m) {
+        if (jn[m] == i) w_ji = w.neighbor_weight[j][m];
+      }
+      EXPECT_NEAR(w.neighbor_weight[i][k], w_ji, 1e-12);
+      EXPECT_NEAR(w.neighbor_weight[i][k],
+                  1.0 / (1.0 + std::max(g.degree(i), g.degree(j))), 1e-12);
+    }
+  }
+}
+
+TEST(MetropolisHastings, RegularGraphGivesUniformWeights) {
+  std::mt19937 rng(11);
+  const Graph g = random_regular(12, 4, rng);
+  const MixingWeights w = metropolis_hastings(g);
+  for (std::size_t i = 0; i < g.size(); ++i) {
+    for (double wij : w.neighbor_weight[i]) EXPECT_NEAR(wij, 0.2, 1e-12);
+    EXPECT_NEAR(w.self_weight[i], 0.2, 1e-12);
+  }
+}
+
+TEST(StaticTopology, SameGraphEveryRound) {
+  std::mt19937 rng(5);
+  StaticTopology topo(random_regular(10, 3, rng));
+  const Graph& g0 = topo.round_graph(0);
+  const Graph& g5 = topo.round_graph(5);
+  EXPECT_EQ(&g0, &g5);
+}
+
+TEST(DynamicTopology, ChangesAcrossRoundsDeterministically) {
+  DynamicRegularTopology topo(16, 4, /*seed=*/77);
+  DynamicRegularTopology topo2(16, 4, /*seed=*/77);
+
+  // Same round, same seed -> identical adjacency.
+  const Graph& a = topo.round_graph(3);
+  std::vector<std::vector<std::size_t>> adj3;
+  for (std::size_t u = 0; u < a.size(); ++u) adj3.push_back(a.neighbors(u));
+  const Graph& b = topo2.round_graph(3);
+  for (std::size_t u = 0; u < b.size(); ++u) EXPECT_EQ(b.neighbors(u), adj3[u]);
+
+  // Different rounds -> (almost surely) different graphs.
+  const Graph& c = topo.round_graph(4);
+  bool any_difference = false;
+  for (std::size_t u = 0; u < c.size(); ++u) {
+    if (c.neighbors(u) != adj3[u]) any_difference = true;
+  }
+  EXPECT_TRUE(any_difference);
+  EXPECT_TRUE(c.is_regular(4));
+  EXPECT_TRUE(c.connected());
+}
+
+}  // namespace
+}  // namespace jwins::graph

@@ -1,0 +1,249 @@
+// Cross-cutting property and invariant tests: end-to-end determinism,
+// equivalences between algorithm paths, and randomized sweeps that tie the
+// modules together.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "compress/float_codec.hpp"
+#include "core/averaging.hpp"
+#include "compress/topk.hpp"
+#include "core/sparse_payload.hpp"
+#include "dwt/dwt.hpp"
+#include "graph/graph.hpp"
+#include "net/serializer.hpp"
+#include "sim/experiment.hpp"
+#include "sim/workloads.hpp"
+
+namespace jwins {
+namespace {
+
+// ------------------------------------------------------------- determinism
+
+sim::ExperimentResult run_once(unsigned threads) {
+  const std::size_t n = 8;
+  const sim::Workload w = sim::make_femnist_like(n, 31);
+  sim::ExperimentConfig cfg;
+  cfg.algorithm = sim::Algorithm::kJwins;
+  cfg.rounds = 12;
+  cfg.local_steps = 2;
+  cfg.sgd.learning_rate = 0.05f;
+  cfg.eval_every = 4;
+  cfg.eval_sample_limit = 96;
+  cfg.eval_node_limit = 4;
+  cfg.threads = threads;
+  cfg.seed = 31;
+  std::mt19937 rng(31);
+  sim::Experiment exp(cfg, w.model_factory, *w.train, w.partition, *w.test,
+                      std::make_unique<graph::StaticTopology>(
+                          graph::random_regular(n, 4, rng)));
+  return exp.run();
+}
+
+TEST(Determinism, SequentialRunsAreBitIdentical) {
+  const auto a = run_once(1);
+  const auto b = run_once(1);
+  ASSERT_EQ(a.series.size(), b.series.size());
+  for (std::size_t i = 0; i < a.series.size(); ++i) {
+    EXPECT_EQ(a.series[i].test_accuracy, b.series[i].test_accuracy);
+    EXPECT_EQ(a.series[i].test_loss, b.series[i].test_loss);
+    EXPECT_EQ(a.series[i].avg_bytes_per_node, b.series[i].avg_bytes_per_node);
+  }
+  EXPECT_EQ(a.total_traffic.bytes_sent, b.total_traffic.bytes_sent);
+  EXPECT_EQ(a.mean_alpha, b.mean_alpha);
+}
+
+// -------------------------------------------- averaging equivalence sweeps
+
+TEST(AveragingEquivalence, DensePartialAverageEqualsMixingMatrix) {
+  // When every neighbor contributes a dense vector, partial_average must
+  // reproduce the plain Metropolis-Hastings weighted average exactly.
+  std::mt19937 rng(5);
+  const graph::Graph g = graph::erdos_renyi(10, 0.4, rng);
+  const graph::MixingWeights w = graph::metropolis_hastings(g);
+  const std::size_t dim = 33;
+  std::vector<std::vector<float>> models(10);
+  for (auto& m : models) {
+    m.resize(dim);
+    std::normal_distribution<float> dist(0.0f, 1.0f);
+    for (float& v : m) v = dist(rng);
+  }
+  for (std::size_t i = 0; i < 10; ++i) {
+    // Reference: x_i' = w_ii x_i + sum_j w_ij x_j.
+    std::vector<double> reference(dim);
+    for (std::size_t d = 0; d < dim; ++d) {
+      reference[d] = w.self_weight[i] * models[i][d];
+    }
+    const auto& nbrs = g.neighbors(i);
+    std::vector<core::SparsePayload> payloads(nbrs.size());
+    std::vector<core::WeightedContribution> contribs;
+    for (std::size_t k = 0; k < nbrs.size(); ++k) {
+      payloads[k].vector_length = static_cast<std::uint32_t>(dim);
+      payloads[k].values = models[nbrs[k]];
+      contribs.push_back({w.neighbor_weight[i][k], &payloads[k]});
+      for (std::size_t d = 0; d < dim; ++d) {
+        reference[d] += w.neighbor_weight[i][k] * models[nbrs[k]][d];
+      }
+    }
+    std::vector<float> result = models[i];
+    core::partial_average(result, w.self_weight[i], contribs);
+    for (std::size_t d = 0; d < dim; ++d) {
+      EXPECT_NEAR(result[d], reference[d], 1e-5f) << "node " << i << " dim " << d;
+    }
+  }
+}
+
+TEST(AveragingEquivalence, WaveletDomainEqualsParameterDomainWhenDense) {
+  // Orthonormal transform + linear averaging commute: averaging dense
+  // wavelet vectors then inverting equals averaging the raw parameters.
+  const std::size_t dim = 77;
+  std::mt19937 rng(9);
+  std::normal_distribution<float> dist(0.0f, 1.0f);
+  std::vector<float> a(dim), b(dim);
+  for (float& v : a) v = dist(rng);
+  for (float& v : b) v = dist(rng);
+  const dwt::DwtPlan plan(dwt::sym2(), dim, 4);
+  const auto wa = plan.forward(a);
+  const auto wb = plan.forward(b);
+  std::vector<float> wavg(wa.size());
+  for (std::size_t i = 0; i < wa.size(); ++i) wavg[i] = 0.5f * (wa[i] + wb[i]);
+  const auto from_wavelet = plan.inverse(wavg);
+  for (std::size_t i = 0; i < dim; ++i) {
+    EXPECT_NEAR(from_wavelet[i], 0.5f * (a[i] + b[i]), 1e-4f);
+  }
+}
+
+// --------------------------------------------------------- codec sweeps
+
+class FloatCodecDistributions : public ::testing::TestWithParam<int> {};
+
+TEST_P(FloatCodecDistributions, LosslessAcrossValueDistributions) {
+  std::mt19937 rng(static_cast<unsigned>(GetParam()));
+  std::vector<float> values(999);
+  switch (GetParam() % 4) {
+    case 0: {  // typical trained weights
+      std::normal_distribution<float> d(0.0f, 0.05f);
+      for (float& v : values) v = d(rng);
+      break;
+    }
+    case 1: {  // heavy-tailed
+      std::cauchy_distribution<float> d(0.0f, 1.0f);
+      for (float& v : values) v = d(rng);
+      break;
+    }
+    case 2: {  // mostly zeros with spikes (sparse residuals)
+      std::uniform_real_distribution<float> d(0.0f, 1.0f);
+      for (float& v : values) v = d(rng) < 0.9f ? 0.0f : d(rng) * 100.0f;
+      break;
+    }
+    default: {  // tiny magnitudes near denormals
+      std::uniform_real_distribution<float> d(-1e-37f, 1e-37f);
+      for (float& v : values) v = d(rng);
+      break;
+    }
+  }
+  const auto bytes = compress::compress_floats(values);
+  const auto back = compress::decompress_floats(bytes, values.size());
+  ASSERT_EQ(back.size(), values.size());
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    EXPECT_EQ(std::bit_cast<std::uint32_t>(back[i]),
+              std::bit_cast<std::uint32_t>(values[i]));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Distributions, FloatCodecDistributions,
+                         ::testing::Range(0, 8));
+
+// -------------------------------------------------------- dwt random sweep
+
+class DwtRandomLengths : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(DwtRandomLengths, ReconstructionForArbitraryLengths) {
+  std::mt19937 rng(GetParam());
+  std::uniform_int_distribution<std::size_t> len_dist(1, 3000);
+  std::normal_distribution<float> dist(0.0f, 1.0f);
+  for (int trial = 0; trial < 5; ++trial) {
+    const std::size_t n = len_dist(rng);
+    std::vector<float> x(n);
+    for (float& v : x) v = dist(rng);
+    const dwt::DwtPlan plan(dwt::sym2(), n, 4);
+    const auto back = plan.inverse(plan.forward(x));
+    float worst = 0.0f;
+    for (std::size_t i = 0; i < n; ++i) {
+      worst = std::max(worst, std::fabs(back[i] - x[i]));
+    }
+    EXPECT_LT(worst, 5e-4f) << "length " << n;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DwtRandomLengths, ::testing::Range(1u, 7u));
+
+// ----------------------------------------------------- serializer property
+
+TEST(SerializerProperty, InterleavedSequencesRoundTrip) {
+  std::mt19937_64 rng(77);
+  for (int trial = 0; trial < 30; ++trial) {
+    net::ByteWriter w;
+    std::vector<int> script;
+    std::vector<std::uint64_t> ints;
+    std::vector<std::vector<float>> arrays;
+    for (int op = 0; op < 20; ++op) {
+      const int kind = static_cast<int>(rng() % 2);
+      script.push_back(kind);
+      if (kind == 0) {
+        ints.push_back(rng());
+        w.write_u64(ints.back());
+      } else {
+        std::vector<float> arr(rng() % 17);
+        for (float& v : arr) {
+          v = static_cast<float>(static_cast<double>(rng()) / 1e18);
+        }
+        arrays.push_back(arr);
+        w.write_f32_array(arr);
+      }
+    }
+    net::ByteReader r(w.buffer());
+    std::size_t ii = 0, ai = 0;
+    for (int kind : script) {
+      if (kind == 0) {
+        EXPECT_EQ(r.read_u64(), ints[ii++]);
+      } else {
+        EXPECT_EQ(r.read_f32_array(), arrays[ai++]);
+      }
+    }
+    EXPECT_TRUE(r.exhausted());
+  }
+}
+
+// ------------------------------------------------- payload fuzz-ish check
+
+TEST(PayloadProperty, RandomSparsitiesRoundTripAllEncodings) {
+  std::mt19937_64 rng(123);
+  std::mt19937 vrng(321);
+  std::normal_distribution<float> dist(0.0f, 1.0f);
+  for (int trial = 0; trial < 25; ++trial) {
+    const std::size_t n = 1 + rng() % 5000;
+    const std::size_t k = 1 + rng() % n;
+    core::SparsePayload payload;
+    payload.vector_length = static_cast<std::uint32_t>(n);
+    payload.indices = compress::random_indices(n, k, rng());
+    payload.values.resize(payload.indices.size());
+    for (float& v : payload.values) v = dist(vrng);
+    for (const auto index_mode :
+         {core::IndexEncoding::kEliasGamma, core::IndexEncoding::kRaw}) {
+      for (const auto value_mode :
+           {core::ValueEncoding::kXorCodec, core::ValueEncoding::kRaw}) {
+        core::PayloadOptions options;
+        options.index_encoding = index_mode;
+        options.value_encoding = value_mode;
+        const auto encoded = core::encode_payload(payload, options);
+        const auto back = core::decode_payload(encoded.body);
+        EXPECT_EQ(back.indices, payload.indices);
+        EXPECT_EQ(back.values, payload.values);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace jwins
