@@ -1,4 +1,4 @@
-// Design-choice ablations beyond the paper's Figure 8 — the knobs DESIGN.md
+// Design-choice ablations beyond the paper's Figure 8 — the knobs docs/DESIGN.md
 // calls out:
 //
 //  1. wavelet family: the paper reports "we experimented with different

@@ -8,7 +8,7 @@
 // generous, so the ablation is run at two budgets: the paper's default alpha
 // distribution (E[alpha]=34%) and the constrained 20% two-point budget where
 // the energy-compaction advantage of the wavelet ranking becomes visible.
-// The deviation is recorded in EXPERIMENTS.md.
+// The deviation is recorded in docs/BENCHMARKS.md.
 
 #include <iomanip>
 #include <iostream>
@@ -112,6 +112,6 @@ int main(int argc, char** argv) {
                "hurts the most, removing accumulation also hurts — both as "
                "in the paper. The randomized cut-off's benefits (congestion "
                "and herd-behavior avoidance) are population-scale effects "
-               "that do not bind at this node count; see EXPERIMENTS.md.\n";
+               "that do not bind at this node count; see docs/BENCHMARKS.md.\n";
   return 0;
 }

@@ -3,11 +3,13 @@
 // scaled up to paper size), and common experiment plumbing.
 #pragma once
 
+#include <charconv>
 #include <cstdlib>
 #include <iostream>
 #include <map>
 #include <memory>
 #include <string>
+#include <string_view>
 
 #include "graph/graph.hpp"
 #include "sim/experiment.hpp"
@@ -20,26 +22,38 @@ class Flags {
  public:
   Flags(int argc, char** argv) {
     for (int i = 1; i < argc; ++i) {
-      std::string arg = argv[i];
+      // string_view parsing (rather than std::string::substr chains, which
+      // trip GCC 12's -Wrestrict false positive, GCC PR 105651) keeps
+      // -Werror builds clean.
+      const std::string_view arg = argv[i];
       if (arg.rfind("--", 0) != 0) continue;
-      arg = arg.substr(2);
-      const auto eq = arg.find('=');
-      if (eq == std::string::npos) {
-        values_[arg] = "1";
+      const std::string_view body = arg.substr(2);
+      const auto eq = body.find('=');
+      if (eq == std::string_view::npos) {
+        values_.insert_or_assign(std::string(body), std::string("1"));
       } else {
-        values_[arg.substr(0, eq)] = arg.substr(eq + 1);
+        values_.insert_or_assign(std::string(body.substr(0, eq)),
+                                 std::string(body.substr(eq + 1)));
       }
     }
   }
 
+  // std::from_chars rather than std::stoul/stod: the latter silently accept
+  // negative values (wrapping to huge size_t) and trailing garbage ("5x").
   std::size_t get(const std::string& key, std::size_t fallback) const {
     const auto it = values_.find(key);
-    return it == values_.end() ? fallback : std::stoul(it->second);
+    if (it == values_.end()) return fallback;
+    std::size_t out = 0;
+    if (!parse_full(it->second, out)) die(key, it->second, "an unsigned integer");
+    return out;
   }
 
   double get(const std::string& key, double fallback) const {
     const auto it = values_.find(key);
-    return it == values_.end() ? fallback : std::stod(it->second);
+    if (it == values_.end()) return fallback;
+    double out = 0.0;
+    if (!parse_full(it->second, out)) die(key, it->second, "a number");
+    return out;
   }
 
   std::string get(const std::string& key, const std::string& fallback) const {
@@ -48,6 +62,21 @@ class Flags {
   }
 
  private:
+  template <typename T>
+  static bool parse_full(const std::string& text, T& out) {
+    const char* const end = text.data() + text.size();
+    const auto [parsed_end, ec] = std::from_chars(text.data(), end, out);
+    return ec == std::errc{} && parsed_end == end;
+  }
+
+  [[noreturn]] static void die(const std::string& key,
+                               const std::string& value,
+                               const char* expected) {
+    std::cerr << "error: --" << key << "=" << value << " is not " << expected
+              << "\n";
+    std::exit(2);
+  }
+
   std::map<std::string, std::string> values_;
 };
 

@@ -10,6 +10,7 @@
 #include <iostream>
 #include <string>
 
+#include "example_util.hpp"
 #include "graph/graph.hpp"
 #include "sim/experiment.hpp"
 #include "sim/report.hpp"
@@ -20,9 +21,9 @@ int main(int argc, char** argv) {
 
   std::size_t nodes = 16, rounds = 80;
   for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
-    if (arg.rfind("--nodes=", 0) == 0) nodes = std::stoul(arg.substr(8));
-    if (arg.rfind("--rounds=", 0) == 0) rounds = std::stoul(arg.substr(9));
+    const std::string_view arg = argv[i];
+    examples::match_flag(arg, "--nodes=", nodes) ||
+        examples::match_flag(arg, "--rounds=", rounds);
   }
 
   const sim::Workload workload = sim::make_femnist_like(nodes, /*seed=*/11);

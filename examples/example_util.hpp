@@ -1,0 +1,31 @@
+// Shared --key=value flag parsing for the examples: strict unsigned-integer
+// validation (std::from_chars rejects negatives and trailing garbage, which
+// std::stoul silently accepts), clean error + exit 2 on bad input.
+#pragma once
+
+#include <charconv>
+#include <cstdlib>
+#include <iostream>
+#include <string_view>
+
+namespace jwins::examples {
+
+/// If `arg` starts with `key` (e.g. "--nodes="), parses the rest into `out`
+/// and returns true; exits with a diagnostic when the value is not a valid
+/// unsigned integer. Returns false when the flag does not match.
+inline bool match_flag(std::string_view arg, std::string_view key,
+                       std::size_t& out) {
+  if (arg.rfind(key, 0) != 0) return false;
+  const std::string_view value = arg.substr(key.size());
+  std::size_t parsed = 0;
+  const auto [end, ec] =
+      std::from_chars(value.data(), value.data() + value.size(), parsed);
+  if (ec != std::errc{} || end != value.data() + value.size()) {
+    std::cerr << "error: " << arg << " is not an unsigned integer\n";
+    std::exit(2);
+  }
+  out = parsed;
+  return true;
+}
+
+}  // namespace jwins::examples

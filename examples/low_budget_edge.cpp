@@ -11,6 +11,7 @@
 #include <string>
 
 #include "core/cutoff.hpp"
+#include "example_util.hpp"
 #include "graph/graph.hpp"
 #include "sim/experiment.hpp"
 #include "sim/report.hpp"
@@ -21,9 +22,9 @@ int main(int argc, char** argv) {
 
   std::size_t nodes = 12, rounds = 40;
   for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
-    if (arg.rfind("--nodes=", 0) == 0) nodes = std::stoul(arg.substr(8));
-    if (arg.rfind("--rounds=", 0) == 0) rounds = std::stoul(arg.substr(9));
+    const std::string_view arg = argv[i];
+    examples::match_flag(arg, "--nodes=", nodes) ||
+        examples::match_flag(arg, "--rounds=", rounds);
   }
 
   const sim::Workload workload = sim::make_shakespeare_like(nodes, /*seed=*/3);

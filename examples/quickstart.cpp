@@ -13,6 +13,7 @@
 #include <random>
 #include <string>
 
+#include "example_util.hpp"
 #include "graph/graph.hpp"
 #include "sim/experiment.hpp"
 #include "sim/report.hpp"
@@ -23,9 +24,9 @@ int main(int argc, char** argv) {
 
   std::size_t nodes = 16, rounds = 60;
   for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
-    if (arg.rfind("--nodes=", 0) == 0) nodes = std::stoul(arg.substr(8));
-    if (arg.rfind("--rounds=", 0) == 0) rounds = std::stoul(arg.substr(9));
+    const std::string_view arg = argv[i];
+    examples::match_flag(arg, "--nodes=", nodes) ||
+        examples::match_flag(arg, "--rounds=", rounds);
   }
 
   // 1. Workload: 10-class synthetic images, sort-and-shard non-IID split

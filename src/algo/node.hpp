@@ -1,11 +1,18 @@
-// Decentralized-learning node framework.
+// Decentralized-learning node framework — the base class every algorithm
+// in src/algo/ derives from, and the interface the sim/ engine drives.
 //
 // Every algorithm follows the paper's train-communicate-aggregate round
-// structure (§II-A): the engine calls local_train() on every node, then
-// share() (messages go out through the simulated network), then aggregate()
-// (mailboxes are drained and models merged). Algorithms differ only in what
-// share()/aggregate() put on the wire — JWINS' claim is precisely that it
-// is independent of the rest of the DL stack.
+// structure (§II-A): the engine calls local_train() on every node (tau SGD
+// steps on the node's partition), then share() (messages go out through the
+// simulated net::Network), then aggregate() (mailboxes are drained and
+// models merged under the topology's mixing weights). Algorithms differ
+// only in what share()/aggregate() put on the wire — full_sharing sends the
+// dense model, random_sampling a seeded index sample, choco an
+// error-feedback-compressed difference, and jwins_node the wavelet-ranked
+// randomized-cut-off payload of Algorithm 1. JWINS' claim is precisely that
+// it is independent of the rest of the DL stack: DlNode gives every
+// algorithm the identical model/optimizer/data substrate so byte and
+// accuracy comparisons isolate the communication policy.
 #pragma once
 
 #include <cstdint>

@@ -7,7 +7,7 @@
 // header. Neural network parameter streams are locally correlated, so the
 // predictor removes sign/exponent redundancy; the codec is exactly lossless,
 // which preserves algorithm behaviour while shrinking payload bytes.
-// The substitution is recorded in DESIGN.md.
+// The substitution is recorded in docs/DESIGN.md.
 #pragma once
 
 #include <cstdint>

@@ -4,7 +4,7 @@
 // (§II-B) and CHOCO-SGD is defined for arbitrary compressors; this module
 // provides the standard s-level stochastic quantizer so CHOCO can run with
 // quantization instead of TopK (an extension experiment — see
-// bench_ablation_compressors).
+// bench_ablation_design).
 //
 // Encoding of x: ||x||_2 (one float), then per element a sign bit and an
 // integer level in [0, s], stochastically rounded so the quantizer is

@@ -1,10 +1,19 @@
-// Wire format for sparse (and dense) model-vector exchange.
+// Wire format for sparse (and dense) model-vector exchange — the single
+// serialization point between the algorithms (algo/) and the simulated
+// network (net/).
 //
-// All algorithms in the reproduction (JWINS, CHOCO, random sampling,
-// full-sharing and the ablations) serialize their model payloads through
-// this one codec so byte accounting is uniform, exactly as the paper applies
-// Fpzip+Elias uniformly across algorithms. The encoding switches double as
-// the Figure-9 ablation (raw vs Elias-gamma index metadata).
+// In the JWINS pipeline this is the step between selection and transport:
+// the ranker (core/ranker.hpp) and randomized cut-off (core/cutoff.hpp)
+// choose which wavelet coefficients to share, encode_payload() turns that
+// (indices, values) pair into bytes — Elias-gamma gap-coded indices
+// (compress/elias.hpp) plus XOR-codec values (compress/float_codec.hpp) —
+// and the receiver's decode_payload() feeds partial averaging
+// (core/averaging.hpp). All algorithms in the reproduction (JWINS, CHOCO,
+// random sampling, full-sharing and the ablations) serialize their model
+// payloads through this one codec so byte accounting is uniform, exactly as
+// the paper applies Fpzip+Elias uniformly across algorithms. The encoding
+// switches double as the Figure-9 ablation (raw vs Elias-gamma index
+// metadata).
 //
 // Layout: [index_mode u8][value_mode u8][vector_len u32][count u32]
 //         [index section][value section]

@@ -3,8 +3,8 @@
 // The real CIFAR-10 / MovieLens / LEAF corpora are unavailable offline, so
 // each generator produces a deterministic, seeded workload with the same
 // *structure* the paper's evaluation relies on (task family, label/client
-// non-IIDness, model family). The substitution ledger in DESIGN.md maps each
-// generator to the dataset it replaces.
+// non-IIDness, model family). The substitution ledger in docs/DESIGN.md maps
+// each generator to the dataset it replaces.
 //
 // Every config has two seeds: `seed` fixes the underlying distribution
 // (class prototypes / rating factors / transition matrices) and

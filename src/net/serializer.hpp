@@ -40,9 +40,13 @@ class ByteWriter {
   const std::vector<std::uint8_t>& buffer() const noexcept { return buffer_; }
 
  private:
+  // resize+memcpy instead of insert(): the insert form trips GCC 12's
+  // -Wstringop-overflow false positive (GCC PR 105329) at -O2, which breaks
+  // -Werror builds.
   void write_raw(const void* src, std::size_t n) {
-    const auto* p = static_cast<const std::uint8_t*>(src);
-    buffer_.insert(buffer_.end(), p, p + n);
+    const std::size_t old_size = buffer_.size();
+    buffer_.resize(old_size + n);
+    std::memcpy(buffer_.data() + old_size, src, n);
   }
 
   std::vector<std::uint8_t> buffer_;

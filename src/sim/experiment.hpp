@@ -1,8 +1,16 @@
-// Experiment runner: wires a dataset partition, a model factory, a topology
-// and one of the four algorithms into the bulk-synchronous D-PSGD round loop
-// (train -> share -> aggregate), collecting the metrics the paper reports
-// (paper §IV-B g): average test accuracy/loss across nodes, bytes
-// transferred (payload vs metadata), and simulated wall-clock time.
+// Experiment runner — the top of the simulation stack and the entry point
+// every bench and example drives.
+//
+// An Experiment wires a dataset partition (data/), a model factory (nn/), a
+// topology provider (graph/) and one of the algorithms (algo/) into the
+// bulk-synchronous D-PSGD round loop (train -> share -> aggregate),
+// collecting the metrics the paper reports (paper §IV-B g): average test
+// accuracy/loss across nodes, bytes transferred (payload vs metadata via
+// net::Network's accounting), and simulated wall-clock time. It also owns
+// the cross-cutting protocol knobs — target-accuracy stopping (the
+// Figure 5/6 protocol), learning-rate schedules, message-drop injection,
+// and the deterministic-vs-threaded execution switch. For a minimal
+// end-to-end use see examples/quickstart.cpp.
 #pragma once
 
 #include <cstdint>
