@@ -14,13 +14,77 @@
 
 #include "bench_util.hpp"
 
+namespace {
+
+// Engine speedup study: the same seeded 64-node JWINS workload at
+// threads = 1 and threads = N. The determinism contract (docs/DESIGN.md)
+// guarantees identical results, so this isolates pure wall-clock scaling;
+// per-phase timings come from ExperimentResult::wall. Numbers are recorded
+// in docs/BENCHMARKS.md. Skip with --speedup=0.
+void run_speedup_study(unsigned threads, std::size_t seed) {
+  using namespace jwins;
+  const std::size_t n = 64;
+  const std::size_t rounds = 6;
+  const sim::Workload w =
+      sim::make_cifar_like_4shard(n, static_cast<std::uint32_t>(seed));
+  auto run_with = [&](unsigned t) {
+    sim::ExperimentConfig cfg;
+    cfg.algorithm = sim::Algorithm::kJwins;
+    cfg.rounds = rounds;
+    cfg.local_steps = 2;
+    cfg.sgd.learning_rate = w.suggested_lr;
+    cfg.eval_every = 3;
+    cfg.eval_sample_limit = 160;
+    cfg.threads = t;
+    cfg.seed = seed;
+    sim::Experiment experiment(cfg, w.model_factory, *w.train, w.partition,
+                               *w.test,
+                               bench::static_regular(n, 4, static_cast<unsigned>(seed)));
+    return experiment.run();
+  };
+  const auto seq = run_with(1);
+  const auto par = run_with(threads);
+
+  std::cout << "--- engine speedup: " << n << " nodes, " << rounds
+            << " jwins rounds, threads 1 vs " << threads << " ---\n";
+  std::cout << std::left << std::setw(12) << "PHASE" << std::setw(10) << "SEQ-S"
+            << std::setw(10) << "PAR-S" << "SPEEDUP\n";
+  const auto row = [](const char* name, double s, double p) {
+    std::cout << std::left << std::setw(12) << name << std::setw(10)
+              << std::fixed << std::setprecision(3) << s << std::setw(10) << p
+              << std::setprecision(2) << (p > 0.0 ? s / p : 0.0) << "x\n";
+  };
+  row("train", seq.wall.train_seconds, par.wall.train_seconds);
+  row("share", seq.wall.share_seconds, par.wall.share_seconds);
+  row("aggregate", seq.wall.aggregate_seconds, par.wall.aggregate_seconds);
+  row("evaluate", seq.wall.evaluate_seconds, par.wall.evaluate_seconds);
+  row("total", seq.wall.total_seconds, par.wall.total_seconds);
+  std::cout << "bit-identical check: "
+            << (seq.final_accuracy == par.final_accuracy &&
+                        seq.total_traffic.bytes_sent == par.total_traffic.bytes_sent
+                    ? "holds"
+                    : "VIOLATED")
+            << "\n\n";
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   using namespace jwins;
   const bench::Flags flags(argc, argv);
   const std::size_t rounds = flags.get("rounds", std::size_t{120});
   const std::size_t seed = flags.get("seed", std::size_t{1});
-  const unsigned threads = static_cast<unsigned>(flags.get("threads", std::size_t{4}));
+  const unsigned threads = bench::thread_flag(flags);
   const bool paper_scale = flags.get("scale-up", std::size_t{0}) != 0;
+
+  if (flags.get("speedup", std::size_t{1}) != 0) {
+    if (threads > 1) {
+      run_speedup_study(threads, seed);
+    } else {
+      std::cout << "(speedup study skipped: --threads=1 — nothing to compare "
+                   "against the sequential engine)\n\n";
+    }
+  }
 
   const std::vector<std::size_t> node_counts =
       paper_scale ? std::vector<std::size_t>{96, 192, 288, 384}

@@ -16,7 +16,7 @@ int main(int argc, char** argv) {
   const std::size_t nodes = flags.get("nodes", std::size_t{16});
   const std::size_t long_rounds = flags.get("long-rounds", std::size_t{160});
   const std::size_t seed = flags.get("seed", std::size_t{1});
-  const unsigned threads = static_cast<unsigned>(flags.get("threads", std::size_t{4}));
+  const unsigned threads = bench::thread_flag(flags);
   const std::string only = flags.get("dataset", std::string{});
 
   std::cout << "=== Figure 5: network cost to reach random sampling's "

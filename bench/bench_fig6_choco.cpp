@@ -18,7 +18,7 @@ int main(int argc, char** argv) {
   const std::size_t nodes = flags.get("nodes", std::size_t{16});
   const std::size_t rounds = flags.get("rounds", std::size_t{120});
   const std::size_t seed = flags.get("seed", std::size_t{1});
-  const unsigned threads = static_cast<unsigned>(flags.get("threads", std::size_t{4}));
+  const unsigned threads = bench::thread_flag(flags);
 
   std::cout << "=== Figure 6: JWINS vs CHOCO at low communication budgets ===\n\n";
   const sim::Workload w =

@@ -16,7 +16,7 @@ int main(int argc, char** argv) {
   const std::size_t nodes = flags.get("nodes", std::size_t{16});
   const std::size_t rounds = flags.get("rounds", std::size_t{90});
   const std::size_t seed = flags.get("seed", std::size_t{1});
-  const unsigned threads = static_cast<unsigned>(flags.get("threads", std::size_t{4}));
+  const unsigned threads = bench::thread_flag(flags);
 
   std::cout << "=== Figure 7: static vs dynamic topology ===\n\n";
   const sim::Workload w =

@@ -32,7 +32,7 @@ int main(int argc, char** argv) {
   const std::size_t rounds = flags.get("rounds", std::size_t{100});
   const std::size_t seed = flags.get("seed", std::size_t{1});
   const std::size_t seeds = flags.get("seeds", std::size_t{3});
-  const unsigned threads = static_cast<unsigned>(flags.get("threads", std::size_t{4}));
+  const unsigned threads = bench::thread_flag(flags);
 
   std::cout << "=== Figure 8: JWINS ablation study (" << seeds
             << " seeds averaged) ===\n";

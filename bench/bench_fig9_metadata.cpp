@@ -17,7 +17,7 @@ int main(int argc, char** argv) {
   const std::size_t nodes = flags.get("nodes", std::size_t{16});
   const std::size_t rounds = flags.get("rounds", std::size_t{40});
   const std::size_t seed = flags.get("seed", std::size_t{1});
-  const unsigned threads = static_cast<unsigned>(flags.get("threads", std::size_t{4}));
+  const unsigned threads = bench::thread_flag(flags);
 
   std::cout << "=== Figure 9: metadata size without vs with Elias gamma ===\n\n";
   const sim::Workload w =

@@ -27,7 +27,7 @@ int main(int argc, char** argv) {
   const std::size_t nodes = flags.get("nodes", std::size_t{16});
   const std::size_t round_scale = flags.get("round-scale", std::size_t{1});
   const std::size_t seed = flags.get("seed", std::size_t{1});
-  const unsigned threads = static_cast<unsigned>(flags.get("threads", std::size_t{4}));
+  const unsigned threads = bench::thread_flag(flags);
   const std::string only = flags.get("dataset", std::string{});
 
   // Rounds tuned per task difficulty, mirroring the paper's per-dataset

@@ -80,6 +80,15 @@ class Flags {
   std::map<std::string, std::string> values_;
 };
 
+/// The --threads flag, defaulting to every hardware thread: the engine is
+/// bit-identical at any thread count (docs/DESIGN.md "Determinism &
+/// threading model"), so benches take the parallel speedup for free.
+inline unsigned thread_flag(const Flags& flags) {
+  return static_cast<unsigned>(flags.get(
+      "threads",
+      static_cast<std::size_t>(net::ThreadPool::default_thread_count())));
+}
+
 inline std::unique_ptr<graph::TopologyProvider> static_regular(
     std::size_t nodes, std::size_t degree, unsigned seed) {
   std::mt19937 rng(seed);

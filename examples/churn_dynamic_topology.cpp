@@ -20,10 +20,12 @@ int main(int argc, char** argv) {
   using namespace jwins;
 
   std::size_t nodes = 16, rounds = 80;
+  std::size_t threads = net::ThreadPool::default_thread_count();
   for (int i = 1; i < argc; ++i) {
     const std::string_view arg = argv[i];
     examples::match_flag(arg, "--nodes=", nodes) ||
-        examples::match_flag(arg, "--rounds=", rounds);
+        examples::match_flag(arg, "--rounds=", rounds) ||
+        examples::match_flag(arg, "--threads=", threads);
   }
 
   const sim::Workload workload = sim::make_femnist_like(nodes, /*seed=*/11);
@@ -35,7 +37,7 @@ int main(int argc, char** argv) {
     config.local_steps = 2;
     config.sgd.learning_rate = 0.05f;
     config.eval_every = rounds / 8;
-    config.threads = 4;
+    config.threads = static_cast<unsigned>(threads);
     config.choco.gamma = 0.5;
     config.choco.fraction = 0.34;
     std::unique_ptr<graph::TopologyProvider> topology;

@@ -21,10 +21,12 @@ int main(int argc, char** argv) {
   using namespace jwins;
 
   std::size_t nodes = 12, rounds = 40;
+  std::size_t threads = net::ThreadPool::default_thread_count();
   for (int i = 1; i < argc; ++i) {
     const std::string_view arg = argv[i];
     examples::match_flag(arg, "--nodes=", nodes) ||
-        examples::match_flag(arg, "--rounds=", rounds);
+        examples::match_flag(arg, "--rounds=", rounds) ||
+        examples::match_flag(arg, "--threads=", threads);
   }
 
   const sim::Workload workload = sim::make_shakespeare_like(nodes, /*seed=*/3);
@@ -43,7 +45,7 @@ int main(int argc, char** argv) {
     config.sgd.learning_rate = workload.suggested_lr;
     config.eval_every = rounds / 5;
     config.eval_sample_limit = 48;
-    config.threads = 4;
+    config.threads = static_cast<unsigned>(threads);
     config.link = link;
     return config;
   };

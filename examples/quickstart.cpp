@@ -1,7 +1,7 @@
 // Quickstart: train a 16-node decentralized CIFAR-10-style workload with
 // JWINS and print the learning curve plus traffic statistics.
 //
-//   ./examples/quickstart [--nodes=16] [--rounds=60]
+//   ./examples/quickstart [--nodes=16] [--rounds=60] [--threads=N]
 //
 // This is the smallest end-to-end use of the public API:
 //   1. build a workload (dataset + non-IID partition + model factory),
@@ -23,10 +23,12 @@ int main(int argc, char** argv) {
   using namespace jwins;
 
   std::size_t nodes = 16, rounds = 60;
+  std::size_t threads = net::ThreadPool::default_thread_count();
   for (int i = 1; i < argc; ++i) {
     const std::string_view arg = argv[i];
     examples::match_flag(arg, "--nodes=", nodes) ||
-        examples::match_flag(arg, "--rounds=", rounds);
+        examples::match_flag(arg, "--rounds=", rounds) ||
+        examples::match_flag(arg, "--threads=", threads);
   }
 
   // 1. Workload: 10-class synthetic images, sort-and-shard non-IID split
@@ -46,7 +48,9 @@ int main(int argc, char** argv) {
   config.local_steps = 2;
   config.sgd.learning_rate = 0.05f;
   config.eval_every = 5;
-  config.threads = 4;
+  // Bit-identical at any thread count (docs/DESIGN.md), so default to all
+  // hardware threads; --threads=1 gives the fully sequential engine.
+  config.threads = static_cast<unsigned>(threads);
 
   // 4. Run.
   sim::Experiment experiment(config, workload.model_factory, *workload.train,

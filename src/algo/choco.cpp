@@ -34,8 +34,9 @@ void ChocoNode::share(net::Network& network, const graph::Graph& g,
   if (options_.compressor == Compressor::kQsgd) {
     // Dense stochastic quantization: the node must apply the *same* lossy
     // values it broadcast, so own_values_ holds the dequantized vector.
+    core::CounterRng rng = round_rng(round);
     const compress::QuantizedVector q =
-        compress::qsgd_quantize(diff, options_.qsgd_levels, rng());
+        compress::qsgd_quantize(diff, options_.qsgd_levels, rng);
     own_indices_.clear();  // dense
     own_values_ = compress::qsgd_dequantize(q);
     msg.sender = rank();

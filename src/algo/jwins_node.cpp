@@ -25,8 +25,10 @@ void JwinsNode::share(net::Network& network, const graph::Graph& g,
   // Eq. (3): V' = V + T(x^{t,tau} - x^{t,0}).
   const std::span<const float> scores =
       ranker_.accumulate_round_change(x0_, x_tau_);
-  // Randomized cut-off picks this round's sharing fraction independently.
-  last_alpha_ = options_.cutoff.sample(rng());
+  // Randomized cut-off picks this round's sharing fraction independently;
+  // the draw is keyed on (seed, rank, round), not on engine call history.
+  core::CounterRng rng = round_rng(round);
+  last_alpha_ = options_.cutoff.sample(rng);
   const std::size_t coeff_len = ranker_.coeff_length();
   own_coeffs_ = ranker_.transform(x_tau_);
 

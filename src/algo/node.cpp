@@ -10,8 +10,7 @@ DlNode::DlNode(std::uint32_t rank, std::unique_ptr<nn::SupervisedModel> model,
       model_(std::move(model)),
       sampler_(std::move(sampler)),
       config_(config),
-      optimizer_(model_->parameters(), model_->gradients(), config.sgd),
-      rng_(0xC0FFEEu + 0x9E3779B97F4A7C15ull * (rank + 1)) {}
+      optimizer_(model_->parameters(), model_->gradients(), config.sgd) {}
 
 float DlNode::local_train() {
   double total = 0.0;

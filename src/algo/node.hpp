@@ -17,8 +17,8 @@
 
 #include <cstdint>
 #include <memory>
-#include <random>
 
+#include "core/rng.hpp"
 #include "data/dataset.hpp"
 #include "graph/graph.hpp"
 #include "net/network.hpp"
@@ -30,6 +30,10 @@ namespace jwins::algo {
 struct TrainConfig {
   std::size_t local_steps = 1;  ///< tau in the paper
   nn::Sgd::Options sgd;
+
+  /// Experiment seed; every per-node random stream (round_rng) derives from
+  /// (seed, rank, round) so runs are reproducible at any thread count.
+  std::uint64_t seed = 1;
 };
 
 class DlNode {
@@ -73,7 +77,14 @@ class DlNode {
                           const graph::MixingWeights& weights,
                           std::uint32_t receiver, std::uint32_t sender);
 
-  std::mt19937_64& rng() noexcept { return rng_; }
+  /// Fresh counter-based random stream for this node's draws in `round`.
+  /// A pure function of (experiment seed, rank, round, salt): the k-th draw
+  /// never depends on earlier rounds or other nodes, so threaded execution
+  /// is bit-identical to sequential (see docs/DESIGN.md).
+  core::CounterRng round_rng(std::uint32_t round,
+                             std::uint64_t salt = 0) const noexcept {
+    return core::CounterRng(config_.seed, rank_, round, salt);
+  }
 
  private:
   std::uint32_t rank_;
@@ -81,7 +92,6 @@ class DlNode {
   data::Sampler sampler_;
   TrainConfig config_;
   nn::Sgd optimizer_;
-  std::mt19937_64 rng_;
 };
 
 }  // namespace jwins::algo

@@ -27,11 +27,10 @@ void RandomSamplingNode::share(net::Network& network, const graph::Graph& g,
   const std::size_t n = x.size();
   const std::size_t k = std::max<std::size_t>(
       1, static_cast<std::size_t>(fraction_ * static_cast<double>(n) + 0.5));
-  // Per-(node, round) seed: the receiver recomputes the same subset from the
-  // 8 bytes in the message.
-  const std::uint64_t seed =
-      seed_base_ ^ (0x9E3779B97F4A7C15ull * (round + 1)) ^
-      (0xBF58476D1CE4E5B9ull * (rank() + 1));
+  // Per-(node, round) subset seed, derived like every other stream
+  // (core::derive_seed, no offset collisions); the receiver reconstructs the
+  // subset from the 8 bytes in the message, not from this derivation.
+  const std::uint64_t seed = core::derive_seed(seed_base_, rank(), round);
   core::SparsePayload payload;
   payload.vector_length = static_cast<std::uint32_t>(n);
   payload.indices = compress::random_indices(n, k, seed);

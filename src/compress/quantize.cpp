@@ -18,8 +18,9 @@ unsigned bits_per_level(std::uint32_t levels) noexcept {
 
 }  // namespace
 
+template <class Urbg>
 QuantizedVector qsgd_quantize(std::span<const float> values,
-                              std::uint32_t levels, std::mt19937_64& rng) {
+                              std::uint32_t levels, Urbg& rng) {
   if (levels == 0) throw std::invalid_argument("qsgd_quantize: levels must be >= 1");
   QuantizedVector q;
   q.levels = levels;
@@ -46,6 +47,13 @@ QuantizedVector qsgd_quantize(std::span<const float> values,
   q.packed = std::move(writer).finish();
   return q;
 }
+
+template QuantizedVector qsgd_quantize<std::mt19937_64>(std::span<const float>,
+                                                        std::uint32_t,
+                                                        std::mt19937_64&);
+template QuantizedVector qsgd_quantize<core::CounterRng>(std::span<const float>,
+                                                         std::uint32_t,
+                                                         core::CounterRng&);
 
 std::vector<float> qsgd_dequantize(const QuantizedVector& q) {
   std::vector<float> out(q.count, 0.0f);

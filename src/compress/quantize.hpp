@@ -16,6 +16,8 @@
 #include <span>
 #include <vector>
 
+#include "core/rng.hpp"
+
 namespace jwins::compress {
 
 struct QuantizedVector {
@@ -25,9 +27,17 @@ struct QuantizedVector {
   std::vector<std::uint8_t> packed;  ///< sign+level bitstream
 };
 
-/// Quantizes `values` to s levels with unbiased stochastic rounding.
+/// Quantizes `values` to s levels with unbiased stochastic rounding. One
+/// uniform draw per element; instantiated for std::mt19937_64 (tests,
+/// benches) and the engine's counter-based core::CounterRng streams.
+template <class Urbg>
 QuantizedVector qsgd_quantize(std::span<const float> values,
-                              std::uint32_t levels, std::mt19937_64& rng);
+                              std::uint32_t levels, Urbg& rng);
+
+extern template QuantizedVector qsgd_quantize<std::mt19937_64>(
+    std::span<const float>, std::uint32_t, std::mt19937_64&);
+extern template QuantizedVector qsgd_quantize<core::CounterRng>(
+    std::span<const float>, std::uint32_t, core::CounterRng&);
 
 /// Reconstructs the (lossy) vector: sign * norm * level / s per element.
 std::vector<float> qsgd_dequantize(const QuantizedVector& q);

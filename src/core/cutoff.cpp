@@ -48,15 +48,6 @@ RandomizedCutoff RandomizedCutoff::fixed(double alpha) {
   return RandomizedCutoff({alpha}, {1.0});
 }
 
-double RandomizedCutoff::sample(std::mt19937_64& rng) const {
-  std::uniform_real_distribution<double> u01(0.0, 1.0);
-  const double r = u01(rng);
-  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), r);
-  const std::size_t idx = std::min<std::size_t>(
-      static_cast<std::size_t>(it - cdf_.begin()), alphas_.size() - 1);
-  return alphas_[idx];
-}
-
 double RandomizedCutoff::expected_alpha() const noexcept {
   double e = 0.0;
   for (std::size_t i = 0; i < alphas_.size(); ++i) e += alphas_[i] * probs_[i];

@@ -8,6 +8,7 @@
 // budget, p(100%)=0.05/p(5%)=0.95 for 10%).
 #pragma once
 
+#include <algorithm>
 #include <random>
 #include <vector>
 
@@ -28,8 +29,19 @@ class RandomizedCutoff {
   /// Degenerate distribution (used by the no-random-cutoff ablation).
   static RandomizedCutoff fixed(double alpha);
 
-  /// Draws this round's sharing fraction.
-  double sample(std::mt19937_64& rng) const;
+  /// Draws this round's sharing fraction. Templated over the engine so both
+  /// stateful std::mt19937_64 (tests, benches) and the counter-based
+  /// core::CounterRng streams the simulation engine uses (see core/rng.hpp)
+  /// work; one uniform draw per call either way.
+  template <class Urbg>
+  double sample(Urbg& rng) const {
+    std::uniform_real_distribution<double> u01(0.0, 1.0);
+    const double r = u01(rng);
+    const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), r);
+    const std::size_t idx = std::min<std::size_t>(
+        static_cast<std::size_t>(it - cdf_.begin()), alphas_.size() - 1);
+    return alphas_[idx];
+  }
 
   /// E[alpha]: the long-run fraction of the model shared per round.
   double expected_alpha() const noexcept;

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "core/rng.hpp"
+
 namespace jwins::net {
 
 void TrafficMeter::record_send(std::uint32_t sender, const Message& msg) {
@@ -42,20 +44,6 @@ void Network::set_drop(double probability, std::uint64_t seed) {
   drop_seed_ = seed;
 }
 
-namespace {
-
-// SplitMix64 finalizer: turns the (sender, receiver, round, seed) tuple into
-// a uniform 64-bit hash so drop decisions are deterministic and independent
-// of thread scheduling.
-std::uint64_t mix64(std::uint64_t x) noexcept {
-  x += 0x9E3779B97F4A7C15ull;
-  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
-  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
-  return x ^ (x >> 31);
-}
-
-}  // namespace
-
 void Network::send(std::uint32_t to, Message msg) {
   if (to >= mailboxes_.size()) {
     throw std::out_of_range("Network::send: destination out of range");
@@ -66,9 +54,12 @@ void Network::send(std::uint32_t to, Message msg) {
   const std::size_t wire = msg.wire_size();
   bool drop = false;
   if (drop_probability_ > 0.0) {
-    const std::uint64_t h = mix64(drop_seed_ ^ mix64(msg.sender) ^
-                                  mix64(std::uint64_t{to} << 20) ^
-                                  mix64(std::uint64_t{msg.round} << 40));
+    // SplitMix64 over the (sender, receiver, round, seed) tuple: drop
+    // decisions are deterministic and independent of thread scheduling.
+    const std::uint64_t h =
+        core::mix64(drop_seed_ ^ core::mix64(msg.sender) ^
+                    core::mix64(std::uint64_t{to} << 20) ^
+                    core::mix64(std::uint64_t{msg.round} << 40));
     drop = static_cast<double>(h) / 18446744073709551616.0 < drop_probability_;
   }
   {
@@ -86,9 +77,22 @@ std::vector<Message> Network::drain(std::uint32_t node) {
   if (node >= mailboxes_.size()) {
     throw std::out_of_range("Network::drain: node out of range");
   }
-  std::lock_guard<std::mutex> lock(mailbox_locks_[node]);
   std::vector<Message> out;
-  out.swap(mailboxes_[node]);
+  {
+    std::lock_guard<std::mutex> lock(mailbox_locks_[node]);
+    out.swap(mailboxes_[node]);
+  }
+  // Canonical delivery order: concurrent senders append in scheduling order,
+  // but receivers must fold contributions in a fixed order or float sums
+  // (and downstream TopK tie-breaks) would vary run to run. (round, sender)
+  // ascending is exactly the arrival order of the sequential engine, whose
+  // share phase walks nodes in rank order; the sort is stable so multiple
+  // messages from one sender keep their emission order.
+  std::stable_sort(out.begin(), out.end(),
+                   [](const Message& a, const Message& b) {
+                     return a.round != b.round ? a.round < b.round
+                                               : a.sender < b.sender;
+                   });
   return out;
 }
 

@@ -101,7 +101,9 @@ class Network {
   /// Thread-safe across concurrent senders.
   void send(std::uint32_t to, Message msg);
 
-  /// Drains node i's mailbox (receiver's view of the round).
+  /// Drains node i's mailbox (receiver's view of the round). Messages are
+  /// returned sorted by (round, sender) — the sequential engine's arrival
+  /// order — so aggregation is independent of thread scheduling.
   std::vector<Message> drain(std::uint32_t node);
 
   /// Advances the simulated clock by one round: compute phase plus the

@@ -1,9 +1,11 @@
 #include "sim/experiment.hpp"
 
+#include <chrono>
 #include <stdexcept>
+#include <utility>
 
+#include "core/rng.hpp"
 #include "data/dataset.hpp"
-#include "net/parallel.hpp"
 
 namespace jwins::sim {
 
@@ -18,6 +20,23 @@ const char* algorithm_name(Algorithm algorithm) {
   return "unknown";
 }
 
+namespace {
+
+/// Stream tag separating each node's mini-batch sampler from its other
+/// random draws (see core::derive_seed).
+constexpr std::uint64_t kSamplerStream = 0xDA7A;
+
+/// Times one engine phase, accumulating real seconds into `slot`.
+template <class Fn>
+void timed_phase(double& slot, Fn&& fn) {
+  const auto start = std::chrono::steady_clock::now();
+  fn();
+  slot += std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+              .count();
+}
+
+}  // namespace
+
 Experiment::Experiment(ExperimentConfig config, nn::ModelFactory factory,
                        const data::Dataset& train, data::Partition partition,
                        const data::Dataset& test,
@@ -25,17 +44,24 @@ Experiment::Experiment(ExperimentConfig config, nn::ModelFactory factory,
     : config_(std::move(config)),
       test_(&test),
       topology_(std::move(topology)),
-      network_(partition.size(), config_.link) {
+      network_(partition.size(), config_.link),
+      pool_(config_.threads) {
   const std::size_t n = partition.size();
   if (n == 0) throw std::invalid_argument("Experiment: empty partition");
   nodes_.reserve(n);
-  algo::TrainConfig train_config{config_.local_steps, config_.sgd};
+  algo::TrainConfig train_config{config_.local_steps, config_.sgd,
+                                 config_.seed};
+  // PowerGossip's edge vectors are shared randomness: both endpoints must
+  // derive them from the same base seed, so fold the experiment seed in
+  // once, identically for every node (not per rank).
+  config_.power_gossip.seed =
+      core::derive_seed(config_.seed, 0, 0, config_.power_gossip.seed);
   for (std::size_t i = 0; i < n; ++i) {
     auto model = factory();
     data::Sampler sampler(train, partition[i], /*batch_size=*/
                           std::max<std::size_t>(1, std::min<std::size_t>(
                                                        16, partition[i].size())),
-                          config_.seed * 7919 + i);
+                          core::derive_seed(config_.seed, i, 0, kSamplerStream));
     const auto rank = static_cast<std::uint32_t>(i);
     switch (config_.algorithm) {
       case Algorithm::kFullSharing:
@@ -78,17 +104,21 @@ MetricPoint Experiment::evaluate(std::size_t round, double train_loss) {
   const std::size_t limit = config_.eval_node_limit == 0
                                 ? nodes_.size()
                                 : std::min(config_.eval_node_limit, nodes_.size());
-  double acc = 0.0, loss = 0.0;
-  std::vector<nn::EvalMetrics> metrics(limit);
-  net::parallel_for(limit, config_.threads, [&](std::size_t i) {
-    metrics[i] = nodes_[i]->model().evaluate(eval_batch_);
+  // Ordered reduction: per-node metrics are computed in parallel but summed
+  // in rank order, so the reported means are thread-count independent.
+  nn::EvalMetrics sums;
+  timed_phase(wall_.evaluate_seconds, [&] {
+    sums = pool_.parallel_reduce(
+        limit, nn::EvalMetrics{},
+        [&](std::size_t i) { return nodes_[i]->model().evaluate(eval_batch_); },
+        [](nn::EvalMetrics a, const nn::EvalMetrics& b) {
+          a.accuracy += b.accuracy;
+          a.loss += b.loss;
+          return a;
+        });
   });
-  for (const auto& m : metrics) {
-    acc += m.accuracy;
-    loss += m.loss;
-  }
-  point.test_accuracy = acc / static_cast<double>(limit);
-  point.test_loss = loss / static_cast<double>(limit);
+  point.test_accuracy = sums.accuracy / static_cast<double>(limit);
+  point.test_loss = sums.loss / static_cast<double>(limit);
   point.avg_bytes_per_node = network_.traffic().average_bytes_per_node();
   point.avg_metadata_bytes_per_node =
       static_cast<double>(network_.traffic().total().metadata_bytes_sent) /
@@ -97,6 +127,7 @@ MetricPoint Experiment::evaluate(std::size_t round, double train_loss) {
 }
 
 ExperimentResult Experiment::run() {
+  const auto run_start = std::chrono::steady_clock::now();
   ExperimentResult result;
   const std::size_t n = nodes_.size();
   std::vector<float> train_losses(n, 0.0f);
@@ -107,16 +138,21 @@ ExperimentResult Experiment::run() {
     }
     const graph::MixingWeights weights = graph::metropolis_hastings(g);
 
-    net::parallel_for(n, config_.threads, [&](std::size_t i) {
-      train_losses[i] = nodes_[i]->local_train();
+    timed_phase(wall_.train_seconds, [&] {
+      pool_.parallel_for(n, [&](std::size_t i) {
+        train_losses[i] = nodes_[i]->local_train();
+      });
     });
-    net::parallel_for(n, config_.threads, [&](std::size_t i) {
-      nodes_[i]->share(network_, g, weights,
-                       static_cast<std::uint32_t>(t));
+    timed_phase(wall_.share_seconds, [&] {
+      pool_.parallel_for(n, [&](std::size_t i) {
+        nodes_[i]->share(network_, g, weights, static_cast<std::uint32_t>(t));
+      });
     });
-    net::parallel_for(n, config_.threads, [&](std::size_t i) {
-      nodes_[i]->aggregate(network_, g, weights,
-                           static_cast<std::uint32_t>(t));
+    timed_phase(wall_.aggregate_seconds, [&] {
+      pool_.parallel_for(n, [&](std::size_t i) {
+        nodes_[i]->aggregate(network_, g, weights,
+                             static_cast<std::uint32_t>(t));
+      });
     });
     network_.finish_round(config_.compute_seconds_per_round);
     result.rounds_run = t + 1;
@@ -159,6 +195,10 @@ ExperimentResult Experiment::run() {
   result.total_traffic = network_.traffic().total();
   result.mean_alpha =
       alpha_samples_ == 0 ? 0.0 : alpha_sum_ / static_cast<double>(alpha_samples_);
+  wall_.total_seconds +=
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - run_start)
+          .count();
+  result.wall = wall_;
   return result;
 }
 

@@ -9,8 +9,11 @@
 // net::Network's accounting), and simulated wall-clock time. It also owns
 // the cross-cutting protocol knobs — target-accuracy stopping (the
 // Figure 5/6 protocol), learning-rate schedules, message-drop injection,
-// and the deterministic-vs-threaded execution switch. For a minimal
-// end-to-end use see examples/quickstart.cpp.
+// and the threaded execution engine (a persistent net::ThreadPool whose
+// static chunking + counter-based per-node RNG streams keep `threads = N`
+// bit-identical to `threads = 1`; see docs/DESIGN.md "Determinism &
+// threading model"). For a minimal end-to-end use see
+// examples/quickstart.cpp.
 #pragma once
 
 #include <cstdint>
@@ -26,6 +29,7 @@
 #include "data/partition.hpp"
 #include "graph/graph.hpp"
 #include "net/network.hpp"
+#include "net/thread_pool.hpp"
 #include "nn/model.hpp"
 
 namespace jwins::sim {
@@ -67,7 +71,10 @@ struct ExperimentConfig {
   std::size_t eval_sample_limit = 512;  ///< test subsample per evaluation
   std::size_t eval_node_limit = 0;      ///< 0 = evaluate every node
 
-  unsigned threads = 1;  ///< 1 = fully deterministic sequential engine
+  /// Execution lanes for the per-node phases. Results are bit-identical at
+  /// any value (see docs/DESIGN.md); 1 runs fully inline. Benches and
+  /// examples default to net::ThreadPool::default_thread_count().
+  unsigned threads = 1;
   std::uint64_t seed = 1;
 
   /// Simulated compute cost per round (identical across algorithms; the
@@ -92,6 +99,18 @@ struct MetricPoint {
   double avg_metadata_bytes_per_node = 0.0;
 };
 
+/// Real (host) wall-clock spent per engine phase, summed over all rounds —
+/// the scalability bench's raw material. Unlike sim_seconds these measure
+/// this process, so they vary run to run and are excluded from the
+/// determinism contract.
+struct PhaseTimings {
+  double train_seconds = 0.0;
+  double share_seconds = 0.0;
+  double aggregate_seconds = 0.0;
+  double evaluate_seconds = 0.0;
+  double total_seconds = 0.0;  ///< whole run(), including bookkeeping
+};
+
 struct ExperimentResult {
   std::vector<MetricPoint> series;
   std::size_t rounds_run = 0;
@@ -101,6 +120,7 @@ struct ExperimentResult {
   double final_loss = 0.0;
   bool reached_target = false;
   double mean_alpha = 0.0;  ///< JWINS only: observed mean sharing fraction
+  PhaseTimings wall;        ///< host wall-clock per phase (not simulated)
 };
 
 class Experiment {
@@ -124,10 +144,12 @@ class Experiment {
   const data::Dataset* test_;
   std::unique_ptr<graph::TopologyProvider> topology_;
   net::Network network_;
+  net::ThreadPool pool_;  ///< workers live as long as the Experiment
   std::vector<std::unique_ptr<algo::DlNode>> nodes_;
   nn::Batch eval_batch_;
   double alpha_sum_ = 0.0;
   std::size_t alpha_samples_ = 0;
+  PhaseTimings wall_;
 };
 
 }  // namespace jwins::sim

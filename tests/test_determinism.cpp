@@ -1,0 +1,143 @@
+// Determinism regression suite: the engine's core reproducibility contract
+// is that `threads = N` is bit-identical to `threads = 1` for every
+// algorithm (counter-based per-(seed, node, round) RNG streams, static
+// thread-pool chunking, canonical mailbox drain order, ordered metric
+// reduction — see docs/DESIGN.md "Determinism & threading model"). Each
+// algorithm runs the same seeded config sequentially, threaded, and
+// threaded again, and every metric the engine reports must match exactly.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "graph/graph.hpp"
+#include "sim/experiment.hpp"
+#include "sim/workloads.hpp"
+
+namespace jwins {
+namespace {
+
+struct Scenario {
+  const char* name;
+  sim::Algorithm algorithm;
+  bool choco_qsgd = false;
+  double drop_probability = 0.0;
+};
+
+sim::ExperimentResult run_scenario(const Scenario& s, unsigned threads) {
+  const std::size_t n = 8;
+  const sim::Workload w = sim::make_femnist_like(n, 23);
+  sim::ExperimentConfig cfg;
+  cfg.algorithm = s.algorithm;
+  cfg.rounds = 6;
+  cfg.local_steps = 2;
+  cfg.sgd.learning_rate = 0.05f;
+  cfg.eval_every = 2;
+  cfg.eval_sample_limit = 64;
+  cfg.threads = threads;
+  cfg.seed = 23;
+  cfg.message_drop_probability = s.drop_probability;
+  if (s.choco_qsgd) {
+    cfg.choco.compressor = algo::ChocoNode::Compressor::kQsgd;
+  }
+  std::mt19937 topo_rng(23);
+  sim::Experiment exp(cfg, w.model_factory, *w.train, w.partition, *w.test,
+                      std::make_unique<graph::StaticTopology>(
+                          graph::random_regular(n, 4, topo_rng)));
+  return exp.run();
+}
+
+void expect_bit_identical(const sim::ExperimentResult& a,
+                          const sim::ExperimentResult& b, const char* label) {
+  SCOPED_TRACE(label);
+  EXPECT_EQ(a.rounds_run, b.rounds_run);
+  EXPECT_EQ(a.reached_target, b.reached_target);
+  ASSERT_EQ(a.series.size(), b.series.size());
+  for (std::size_t i = 0; i < a.series.size(); ++i) {
+    SCOPED_TRACE(i);
+    const sim::MetricPoint& x = a.series[i];
+    const sim::MetricPoint& y = b.series[i];
+    EXPECT_EQ(x.round, y.round);
+    EXPECT_EQ(x.sim_seconds, y.sim_seconds);
+    EXPECT_EQ(x.test_accuracy, y.test_accuracy);
+    EXPECT_EQ(x.test_loss, y.test_loss);
+    EXPECT_EQ(x.train_loss, y.train_loss);
+    EXPECT_EQ(x.avg_bytes_per_node, y.avg_bytes_per_node);
+    EXPECT_EQ(x.avg_metadata_bytes_per_node, y.avg_metadata_bytes_per_node);
+  }
+  EXPECT_EQ(a.sim_seconds, b.sim_seconds);
+  EXPECT_EQ(a.final_accuracy, b.final_accuracy);
+  EXPECT_EQ(a.final_loss, b.final_loss);
+  EXPECT_EQ(a.total_traffic.messages_sent, b.total_traffic.messages_sent);
+  EXPECT_EQ(a.total_traffic.bytes_sent, b.total_traffic.bytes_sent);
+  EXPECT_EQ(a.total_traffic.payload_bytes_sent, b.total_traffic.payload_bytes_sent);
+  EXPECT_EQ(a.total_traffic.metadata_bytes_sent, b.total_traffic.metadata_bytes_sent);
+  EXPECT_EQ(a.mean_alpha, b.mean_alpha);
+}
+
+class DeterminismAcrossThreads : public ::testing::TestWithParam<Scenario> {};
+
+TEST_P(DeterminismAcrossThreads, ThreadedMatchesSequentialBitForBit) {
+  const Scenario& s = GetParam();
+  const auto sequential = run_scenario(s, 1);
+  const auto threaded = run_scenario(s, 4);
+  const auto threaded_again = run_scenario(s, 4);
+  expect_bit_identical(sequential, threaded, "threads=1 vs threads=4");
+  expect_bit_identical(threaded, threaded_again, "threads=4 vs threads=4");
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllAlgorithms, DeterminismAcrossThreads,
+    ::testing::Values(
+        Scenario{"full_sharing", sim::Algorithm::kFullSharing},
+        Scenario{"random_sampling", sim::Algorithm::kRandomSampling},
+        Scenario{"jwins", sim::Algorithm::kJwins},
+        Scenario{"choco_topk", sim::Algorithm::kChoco},
+        Scenario{"choco_qsgd", sim::Algorithm::kChoco, /*choco_qsgd=*/true},
+        Scenario{"power_gossip", sim::Algorithm::kPowerGossip},
+        Scenario{"jwins_lossy_links", sim::Algorithm::kJwins,
+                 /*choco_qsgd=*/false, /*drop_probability=*/0.15}),
+    [](const ::testing::TestParamInfo<Scenario>& info) {
+      return info.param.name;
+    });
+
+TEST(DeterminismAcrossSeeds, SeedChangesTheTrajectory) {
+  // The per-node streams must actually depend on the experiment seed (the
+  // old seed-offset engines ignored it for the cut-off draws, and
+  // PowerGossip's shared-randomness base seed was a fixed constant).
+  const std::size_t n = 8;
+  const sim::Workload w = sim::make_femnist_like(n, 23);
+  auto run_with_seed = [&](sim::Algorithm algorithm, std::uint64_t seed) {
+    sim::ExperimentConfig cfg;
+    cfg.algorithm = algorithm;
+    cfg.rounds = 4;
+    cfg.eval_every = 4;
+    cfg.eval_sample_limit = 32;
+    cfg.seed = seed;
+    std::mt19937 topo_rng(23);
+    sim::Experiment exp(cfg, w.model_factory, *w.train, w.partition, *w.test,
+                        std::make_unique<graph::StaticTopology>(
+                            graph::random_regular(n, 4, topo_rng)));
+    return exp.run();
+  };
+  const auto a = run_with_seed(sim::Algorithm::kJwins, 1);
+  const auto b = run_with_seed(sim::Algorithm::kJwins, 2);
+  EXPECT_NE(a.mean_alpha, b.mean_alpha);
+  const auto pg_a = run_with_seed(sim::Algorithm::kPowerGossip, 1);
+  const auto pg_b = run_with_seed(sim::Algorithm::kPowerGossip, 2);
+  EXPECT_NE(pg_a.final_loss, pg_b.final_loss);
+}
+
+TEST(Determinism, WallTimingsArePopulated) {
+  const auto result =
+      run_scenario({"jwins", sim::Algorithm::kJwins}, /*threads=*/2);
+  EXPECT_GT(result.wall.train_seconds, 0.0);
+  EXPECT_GT(result.wall.share_seconds, 0.0);
+  EXPECT_GT(result.wall.aggregate_seconds, 0.0);
+  EXPECT_GT(result.wall.evaluate_seconds, 0.0);
+  EXPECT_GE(result.wall.total_seconds,
+            result.wall.train_seconds + result.wall.share_seconds +
+                result.wall.aggregate_seconds + result.wall.evaluate_seconds);
+}
+
+}  // namespace
+}  // namespace jwins

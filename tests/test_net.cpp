@@ -1,11 +1,10 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
-#include <numeric>
 
 #include "net/network.hpp"
-#include "net/parallel.hpp"
 #include "net/serializer.hpp"
+#include "net/thread_pool.hpp"
 
 namespace jwins::net {
 namespace {
@@ -132,38 +131,10 @@ TEST(Network, RoundTimeUsesSlowestNode) {
   EXPECT_NEAR(net.simulated_seconds(), 5.0, 1e-9);
 }
 
-TEST(ParallelFor, CoversAllIndicesOnce) {
-  std::vector<std::atomic<int>> hits(100);
-  parallel_for(100, 4, [&](std::size_t i) { hits[i].fetch_add(1); });
-  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
-}
-
-TEST(ParallelFor, SequentialWhenOneThread) {
-  std::vector<int> order;
-  parallel_for(10, 1, [&](std::size_t i) { order.push_back(static_cast<int>(i)); });
-  std::vector<int> expected(10);
-  std::iota(expected.begin(), expected.end(), 0);
-  EXPECT_EQ(order, expected);
-}
-
-TEST(ParallelFor, PropagatesException) {
-  EXPECT_THROW(
-      parallel_for(16, 4,
-                   [&](std::size_t i) {
-                     if (i == 7) throw std::runtime_error("boom");
-                   }),
-      std::runtime_error);
-}
-
-TEST(ParallelFor, ZeroIterationsIsNoop) {
-  bool called = false;
-  parallel_for(0, 4, [&](std::size_t) { called = true; });
-  EXPECT_FALSE(called);
-}
-
 TEST(Network, ConcurrentSendsAreSafe) {
   Network net(8);
-  parallel_for(8, 8, [&](std::size_t sender) {
+  ThreadPool pool(8);
+  pool.parallel_for(8, [&](std::size_t sender) {
     for (int m = 0; m < 50; ++m) {
       Message msg;
       msg.sender = static_cast<std::uint32_t>(sender);
@@ -175,6 +146,34 @@ TEST(Network, ConcurrentSendsAreSafe) {
   std::size_t received = 0;
   for (std::uint32_t i = 0; i < 8; ++i) received += net.drain(i).size();
   EXPECT_EQ(received, 400u);
+}
+
+TEST(Network, DrainReturnsCanonicalSenderOrder) {
+  // Whatever order concurrent senders appended in, drain must hand back the
+  // sequential engine's arrival order: (round, sender) ascending, stable
+  // within one sender.
+  Network net(4);
+  auto send = [&](std::uint32_t sender, std::uint32_t round, std::uint8_t tag) {
+    Message msg;
+    msg.sender = sender;
+    msg.round = round;
+    msg.body = {tag};
+    net.send(0, msg);
+  };
+  send(2, 1, 0);
+  send(0, 1, 1);
+  send(3, 0, 2);
+  send(0, 1, 3);  // second message from sender 0, same round
+  send(1, 1, 4);
+  const auto inbox = net.drain(0);
+  ASSERT_EQ(inbox.size(), 5u);
+  EXPECT_EQ(inbox[0].sender, 3u);  // round 0 first
+  EXPECT_EQ(inbox[1].sender, 0u);
+  EXPECT_EQ(inbox[1].body[0], 1);  // emission order kept within a sender
+  EXPECT_EQ(inbox[2].sender, 0u);
+  EXPECT_EQ(inbox[2].body[0], 3);
+  EXPECT_EQ(inbox[3].sender, 1u);
+  EXPECT_EQ(inbox[4].sender, 2u);
 }
 
 }  // namespace
