@@ -4,7 +4,12 @@
 // then run JWINS and full-sharing with target-accuracy stopping. Paper
 // shape: JWINS reaches the target in far fewer rounds than random sampling
 // (annotated "-N rounds" in the figure) and pushes 1.5-4x less data.
+//
+// All experiment wiring comes from scenarios/fig5_convergence.scenario
+// (override with --scenario=PATH); only the two-stage protocol — the
+// derived target accuracy — lives here.
 
+#include <algorithm>
 #include <iomanip>
 #include <iostream>
 
@@ -13,47 +18,48 @@
 int main(int argc, char** argv) {
   using namespace jwins;
   const bench::Flags flags(argc, argv);
-  const std::size_t nodes = flags.get("nodes", std::size_t{16});
-  const std::size_t long_rounds = flags.get("long-rounds", std::size_t{160});
-  const std::size_t seed = flags.get("seed", std::size_t{1});
-  const unsigned threads = bench::thread_flag(flags);
-  const std::string only = flags.get("dataset", std::string{});
+
+  config::RawScenario raw =
+      bench::load_preset(flags, "fig5_convergence.scenario");
+  bench::override_if(flags, raw, "nodes", "nodes");
+  bench::override_if(flags, raw, "long-rounds", "rounds");
+  bench::override_if(flags, raw, "seed", "seed");
+  bench::override_if(flags, raw, "threads", "threads");
+  bench::override_if(flags, raw, "dataset", "workload");
+
+  std::vector<config::ScenarioRun> runs;
+  try {
+    runs = config::expand_grid(raw);
+  } catch (const config::ScenarioError& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 2;
+  }
+  auto find_run = [&](const std::string& workload, sim::Algorithm algorithm) {
+    for (const config::ScenarioRun& r : runs) {
+      if (r.workload == workload && r.config.algorithm == algorithm) return r;
+    }
+    // Reachable via --scenario files that drop an algorithm from the sweep.
+    std::cerr << "error: algorithm: the scenario grid has no "
+              << sim::algorithm_name(algorithm) << " cell for workload "
+              << workload << " (this bench needs all three)\n";
+    std::exit(2);
+  };
+  // Dataset order = first appearance in the expanded grid.
+  std::vector<std::string> datasets;
+  for (const config::ScenarioRun& r : runs) {
+    if (std::find(datasets.begin(), datasets.end(), r.workload) ==
+        datasets.end()) {
+      datasets.push_back(r.workload);
+    }
+  }
 
   std::cout << "=== Figure 5: network cost to reach random sampling's "
                "accuracy ===\n\n";
 
-  const std::vector<std::string> datasets =
-      only.empty() ? std::vector<std::string>{"cifar", "celeba", "femnist"}
-                   : std::vector<std::string>{only};
-
-  for (const auto& name : datasets) {
-    const sim::Workload w =
-        sim::make_workload(name, nodes, static_cast<std::uint32_t>(seed));
-
-    auto make_config = [&](sim::Algorithm algorithm) {
-      sim::ExperimentConfig cfg;
-      cfg.algorithm = algorithm;
-      cfg.rounds = long_rounds;
-      cfg.local_steps = w.suggested_local_steps;
-      cfg.sgd.learning_rate = w.suggested_lr;
-      cfg.eval_every = 5;
-      cfg.eval_sample_limit = 192;
-      cfg.eval_node_limit = std::min<std::size_t>(nodes, 8);
-      cfg.threads = threads;
-      cfg.seed = seed;
-      cfg.random_sampling_fraction = 0.37;
-      return cfg;
-    };
-    auto topo = [&] {
-      return bench::static_regular(nodes, bench::degree_for_nodes(nodes),
-                                   static_cast<unsigned>(seed));
-    };
-
+  for (const std::string& name : datasets) {
     // Step 1: random sampling run long -> target accuracy.
-    sim::Experiment rs_long(make_config(sim::Algorithm::kRandomSampling),
-                            w.model_factory, *w.train, w.partition, *w.test,
-                            topo());
-    const auto rs = rs_long.run();
+    const auto rs =
+        config::execute(find_run(name, sim::Algorithm::kRandomSampling));
     double best = 0.0;
     std::size_t best_round = rs.rounds_run;
     double rs_bytes_at_best = rs.series.back().avg_bytes_per_node;
@@ -69,11 +75,9 @@ int main(int argc, char** argv) {
 
     // Step 2: JWINS and full-sharing until the target.
     auto run_to_target = [&](sim::Algorithm algorithm) {
-      auto cfg = make_config(algorithm);
-      cfg.target_accuracy = target;
-      sim::Experiment experiment(cfg, w.model_factory, *w.train, w.partition,
-                                 *w.test, topo());
-      return experiment.run();
+      config::ScenarioRun run = find_run(name, algorithm);
+      run.config.target_accuracy = target;
+      return config::execute(run);
     };
     const auto jw = run_to_target(sim::Algorithm::kJwins);
     const auto full = run_to_target(sim::Algorithm::kFullSharing);

@@ -4,6 +4,10 @@
 // JWINS; JWINS on a dynamic topology can even beat static full-sharing.
 // (CHOCO's error-feedback state cannot follow a changing topology, which is
 // why the paper leaves it off this chart.)
+//
+// Experiment wiring comes from scenarios/fig7_dynamic.scenario (override
+// with --scenario=PATH): a 2x2 grid of algorithm x churn_every, of which
+// the figure charts three cells.
 
 #include <iomanip>
 #include <iostream>
@@ -13,39 +17,35 @@
 int main(int argc, char** argv) {
   using namespace jwins;
   const bench::Flags flags(argc, argv);
-  const std::size_t nodes = flags.get("nodes", std::size_t{16});
-  const std::size_t rounds = flags.get("rounds", std::size_t{90});
-  const std::size_t seed = flags.get("seed", std::size_t{1});
-  const unsigned threads = bench::thread_flag(flags);
 
-  std::cout << "=== Figure 7: static vs dynamic topology ===\n\n";
-  const sim::Workload w =
-      sim::make_cifar_like(nodes, static_cast<std::uint32_t>(seed));
-  const std::size_t degree = bench::degree_for_nodes(nodes);
+  config::RawScenario raw = bench::load_preset(flags, "fig7_dynamic.scenario");
+  bench::override_if(flags, raw, "nodes", "nodes");
+  bench::override_if(flags, raw, "rounds", "rounds");
+  bench::override_if(flags, raw, "seed", "seed");
+  bench::override_if(flags, raw, "threads", "threads");
 
+  std::vector<config::ScenarioRun> runs;
+  try {
+    runs = config::expand_grid(raw);
+  } catch (const config::ScenarioError& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 2;
+  }
   auto run = [&](sim::Algorithm algorithm, bool dynamic) {
-    sim::ExperimentConfig cfg;
-    cfg.algorithm = algorithm;
-    cfg.rounds = rounds;
-    cfg.local_steps = 2;
-    cfg.sgd.learning_rate = 0.05f;
-    cfg.eval_every = 5;
-    cfg.eval_sample_limit = 192;
-    cfg.eval_node_limit = std::min<std::size_t>(nodes, 8);
-    cfg.threads = threads;
-    cfg.seed = seed;
-    std::unique_ptr<graph::TopologyProvider> topo;
-    if (dynamic) {
-      topo = std::make_unique<graph::DynamicRegularTopology>(
-          nodes, degree, static_cast<std::uint64_t>(seed));
-    } else {
-      topo = bench::static_regular(nodes, degree, static_cast<unsigned>(seed));
+    for (const config::ScenarioRun& r : runs) {
+      if (r.config.algorithm == algorithm && (r.churn_every > 0) == dynamic) {
+        return config::execute(r);
+      }
     }
-    sim::Experiment experiment(cfg, w.model_factory, *w.train, w.partition,
-                               *w.test, std::move(topo));
-    return experiment.run();
+    std::cerr << "error: algorithm: the scenario grid has no "
+              << sim::algorithm_name(algorithm) << "/"
+              << (dynamic ? "dynamic" : "static")
+              << " cell (this bench charts full-sharing x {static,dynamic} "
+                 "and jwins/dynamic)\n";
+    std::exit(2);
   };
 
+  std::cout << "=== Figure 7: static vs dynamic topology ===\n\n";
   const auto full_static = run(sim::Algorithm::kFullSharing, false);
   const auto full_dynamic = run(sim::Algorithm::kFullSharing, true);
   const auto jwins_dynamic = run(sim::Algorithm::kJwins, true);

@@ -5,6 +5,10 @@
 // JWINS' network savings vs full-sharing. Paper shape: JWINS accuracy ~=
 // full-sharing (within a few points), beats random sampling, while sending
 // ~60-64% fewer bytes than full-sharing.
+//
+// Experiment wiring comes from scenarios/table1_fig4.scenario (override
+// with --scenario=PATH); this driver only keeps the paper's per-dataset
+// round budgets, setting `workload`/`rounds` per table row.
 
 #include <iomanip>
 #include <iostream>
@@ -24,11 +28,20 @@ struct DatasetRounds {
 
 int main(int argc, char** argv) {
   const bench::Flags flags(argc, argv);
-  const std::size_t nodes = flags.get("nodes", std::size_t{16});
   const std::size_t round_scale = flags.get("round-scale", std::size_t{1});
-  const std::size_t seed = flags.get("seed", std::size_t{1});
-  const unsigned threads = bench::thread_flag(flags);
   const std::string only = flags.get("dataset", std::string{});
+
+  config::RawScenario raw = bench::load_preset(flags, "table1_fig4.scenario");
+  bench::override_if(flags, raw, "nodes", "nodes");
+  bench::override_if(flags, raw, "seed", "seed");
+  bench::override_if(flags, raw, "threads", "threads");
+  std::size_t nodes = 0;
+  try {
+    nodes = config::expand_grid(raw).front().nodes;
+  } catch (const config::ScenarioError& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 2;
+  }
 
   // Rounds tuned per task difficulty, mirroring the paper's per-dataset
   // epoch counts (Table I).
@@ -48,28 +61,27 @@ int main(int argc, char** argv) {
   for (const auto& [name, base_rounds] : schedule) {
     if (!only.empty() && only != name) continue;
     const std::size_t rounds = base_rounds * round_scale;
-    const sim::Workload w =
-        sim::make_workload(name, nodes, static_cast<std::uint32_t>(seed));
+    config::set_value(raw, "workload", name);
+    config::set_value(raw, "rounds", std::to_string(rounds));
+    config::set_value(
+        raw, "eval_every",
+        std::to_string(std::max<std::size_t>(1, rounds / 10)));
 
+    std::vector<config::ScenarioRun> runs;
+    try {
+      runs = config::expand_grid(raw);
+    } catch (const config::ScenarioError& e) {
+      std::cerr << "error: " << e.what() << "\n";
+      return 2;
+    }
     auto run = [&](sim::Algorithm algorithm) {
-      sim::ExperimentConfig cfg;
-      cfg.algorithm = algorithm;
-      cfg.rounds = rounds;
-      cfg.local_steps = w.suggested_local_steps;
-      cfg.sgd.learning_rate = w.suggested_lr;
-      cfg.eval_every = std::max<std::size_t>(1, rounds / 10);
-      cfg.eval_sample_limit = 192;
-      cfg.eval_node_limit = std::min<std::size_t>(nodes, 8);
-      cfg.threads = threads;
-      cfg.seed = seed;
-      // Random sampling budget matches JWINS' expected alpha (paper: 37%).
-      cfg.random_sampling_fraction = 0.37;
-      sim::Experiment experiment(cfg, w.model_factory, *w.train, w.partition,
-                                 *w.test,
-                                 bench::static_regular(
-                                     nodes, bench::degree_for_nodes(nodes),
-                                     static_cast<unsigned>(seed)));
-      return experiment.run();
+      for (const config::ScenarioRun& r : runs) {
+        if (r.config.algorithm == algorithm) return config::execute(r);
+      }
+      std::cerr << "error: algorithm: the scenario grid has no "
+                << sim::algorithm_name(algorithm)
+                << " cell (this bench needs all three)\n";
+      std::exit(2);
     };
 
     const auto full = run(sim::Algorithm::kFullSharing);

@@ -1,6 +1,9 @@
 // Shared helpers for the figure-reproduction benches: tiny --key=value flag
 // parsing (each bench runs standalone with sensible defaults but can be
-// scaled up to paper size), and common experiment plumbing.
+// scaled up to paper size), and common experiment plumbing. The
+// figure-preset benches load their wiring from scenarios/*.scenario via
+// load_preset() and only keep protocol logic (e.g. Fig. 5's derived target
+// accuracy) in C++.
 #pragma once
 
 #include <charconv>
@@ -11,6 +14,8 @@
 #include <string>
 #include <string_view>
 
+#include "config/runner.hpp"
+#include "config/scenario.hpp"
 #include "graph/graph.hpp"
 #include "sim/experiment.hpp"
 #include "sim/report.hpp"
@@ -61,6 +66,10 @@ class Flags {
     return it == values_.end() ? fallback : it->second;
   }
 
+  bool contains(const std::string& key) const {
+    return values_.find(key) != values_.end();
+  }
+
  private:
   template <typename T>
   static bool parse_full(const std::string& text, T& out) {
@@ -97,12 +106,33 @@ inline std::unique_ptr<graph::TopologyProvider> static_regular(
 }
 
 /// Degree schedule matching the paper: 4-regular at the base scale, growing
-/// with node count (96:4, 192:5, 288:5, 384:6 -> here scaled down).
+/// with node count (96:4, 192:5, 288:5, 384:6 -> here scaled down). Shared
+/// with the scenario engine's `topology_degree = 0` auto mode.
 inline std::size_t degree_for_nodes(std::size_t nodes) {
-  if (nodes >= 384) return 6;
-  if (nodes >= 192) return 5;
-  if (nodes >= 16) return 4;
-  return 3;
+  return config::auto_degree(nodes);
+}
+
+/// Loads a figure's scenario preset: --scenario=PATH override, else the
+/// checked-in scenarios/ copy (JWINS_SCENARIO_DIR is baked in by CMake).
+inline config::RawScenario load_preset(const Flags& flags,
+                                       const char* filename) {
+  const std::string fallback = std::string(JWINS_SCENARIO_DIR "/") + filename;
+  try {
+    return config::load_scenario_file(flags.get("scenario", fallback));
+  } catch (const config::ScenarioError& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    std::exit(2);
+  }
+}
+
+/// Forwards a bench flag into the scenario (only when given on the command
+/// line, so the preset's value stays the default).
+inline void override_if(const Flags& flags, config::RawScenario& raw,
+                        const std::string& flag_key,
+                        const std::string& scenario_key) {
+  if (flags.contains(flag_key)) {
+    config::set_value(raw, scenario_key, flags.get(flag_key, std::string{}));
+  }
 }
 
 }  // namespace jwins::bench

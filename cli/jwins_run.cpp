@@ -1,0 +1,228 @@
+// jwins_run — the declarative experiment driver.
+//
+//   jwins_run <file.scenario> [options]
+//
+// Loads a .scenario spec (docs/EXPERIMENTS.md is the key reference), expands
+// its sweep lists into a run grid, executes every cell, streams per-run
+// progress to the console, and writes one JSON (full metric series, traffic
+// split, per-phase wall-clock) plus one CSV (the series) per run, and a
+// grid.json index — so downstream plotting needs no C++.
+//
+// Options:
+//   --set key=value   Override/add a scenario key before expansion
+//                     (repeatable; the value may be a comma sweep list)
+//   --out=DIR         Output root (default jwins_results); files land in
+//                     DIR/<scenario-name>/
+//   --no-files        Console summary only, write nothing
+//   --dry-run         Print the expanded grid and exit without running
+//   --list-keys       Print the scenario key reference and exit
+//
+// Exit codes: 0 success, 2 usage/spec error (message: `error: <key>: <why>`).
+
+#include <cctype>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <iomanip>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "config/runner.hpp"
+#include "config/scenario.hpp"
+#include "sim/report.hpp"
+
+namespace {
+
+using namespace jwins;
+
+void print_usage(std::ostream& os) {
+  os << "usage: jwins_run <file.scenario> [--set key=value]... [--out=DIR]\n"
+        "                 [--no-files] [--dry-run] [--list-keys]\n"
+        "Scenario key reference: jwins_run --list-keys, or docs/EXPERIMENTS.md\n";
+}
+
+void print_key_reference(std::ostream& os) {
+  os << "Scenario keys (flat `key = value` lines; any key except `name` may\n"
+        "hold a comma-separated sweep list, expanded as a run grid):\n\n";
+  for (const config::KeyInfo& k : config::scenario_keys()) {
+    os << "  " << std::left << std::setw(26) << k.key << std::setw(8) << k.type
+       << "default: " << k.default_value << "\n"
+       << std::setw(36) << "" << "valid: " << k.valid << "\n"
+       << std::setw(36) << "" << k.description << "\n";
+  }
+}
+
+/// "workload=cifar,algorithm=jwins" -> "workload-cifar_algorithm-jwins".
+std::string file_slug(const std::string& label) {
+  std::string slug;
+  for (const char c : label) {
+    if (std::isalnum(static_cast<unsigned char>(c)) || c == '.' || c == '-') {
+      slug += c;
+    } else if (c == ',') {
+      slug += '_';
+    } else {
+      slug += '-';
+    }
+  }
+  return slug;
+}
+
+std::string describe(const config::ScenarioRun& run) {
+  std::string text = "workload=" + run.workload +
+                     " algorithm=" + sim::algorithm_name(run.config.algorithm) +
+                     " nodes=" + std::to_string(run.nodes) +
+                     " rounds=" + std::to_string(run.config.rounds) +
+                     " topology=" + run.topology;
+  if (run.churn_every > 0) {
+    text += " churn_every=" + std::to_string(run.churn_every);
+  }
+  return text;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string scenario_path;
+  std::string out_dir = "jwins_results";
+  std::vector<std::pair<std::string, std::string>> overrides;
+  bool write_files = true;
+  bool dry_run = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg == "--list-keys") {
+      print_key_reference(std::cout);
+      return 0;
+    }
+    if (arg == "--help" || arg == "-h") {
+      print_usage(std::cout);
+      return 0;
+    }
+    if (arg == "--no-files") {
+      write_files = false;
+    } else if (arg == "--dry-run") {
+      dry_run = true;
+    } else if (arg.rfind("--out=", 0) == 0) {
+      out_dir = std::string(arg.substr(6));
+    } else if (arg == "--set") {
+      if (i + 1 >= argc) {
+        std::cerr << "error: --set: expects a following key=value argument\n";
+        return 2;
+      }
+      const std::string_view kv = argv[++i];
+      const auto eq = kv.find('=');
+      if (eq == std::string_view::npos || eq == 0) {
+        std::cerr << "error: --set: \"" << kv << "\" is not key=value\n";
+        return 2;
+      }
+      overrides.emplace_back(std::string(kv.substr(0, eq)),
+                             std::string(kv.substr(eq + 1)));
+    } else if (arg.rfind("--", 0) == 0) {
+      std::cerr << "error: unknown option " << arg << "\n";
+      print_usage(std::cerr);
+      return 2;
+    } else if (scenario_path.empty()) {
+      scenario_path = std::string(arg);
+    } else {
+      std::cerr << "error: more than one scenario file given\n";
+      return 2;
+    }
+  }
+  if (scenario_path.empty()) {
+    std::cerr << "error: no scenario file given\n";
+    print_usage(std::cerr);
+    return 2;
+  }
+
+  std::vector<config::ScenarioRun> runs;
+  std::string scenario_name;
+  try {
+    config::RawScenario raw = config::load_scenario_file(scenario_path);
+    for (const auto& [key, value] : overrides) {
+      config::set_value(raw, key, value);
+    }
+    runs = config::expand_grid(raw);
+    scenario_name = raw.name;
+  } catch (const config::ScenarioError& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 2;
+  }
+
+  std::cout << "scenario " << scenario_name << ": " << runs.size()
+            << (runs.size() == 1 ? " run" : " runs") << " ("
+            << scenario_path << ")\n";
+  if (dry_run) {
+    for (const config::ScenarioRun& run : runs) {
+      std::cout << "  [" << run.index + 1 << "/" << runs.size() << "] "
+                << run.label << "  (" << describe(run) << ")\n";
+    }
+    return 0;
+  }
+
+  namespace fs = std::filesystem;
+  fs::path run_dir;
+  if (write_files) {
+    run_dir = fs::path(out_dir) / scenario_name;
+    std::error_code ec;
+    fs::create_directories(run_dir, ec);
+    if (ec) {
+      std::cerr << "error: --out: cannot create " << run_dir.string() << ": "
+                << ec.message() << "\n";
+      return 2;
+    }
+  }
+
+  std::ostringstream grid_index;
+  grid_index << "[";
+  for (const config::ScenarioRun& run : runs) {
+    std::cout << "[" << run.index + 1 << "/" << runs.size() << "] "
+              << run.label << "  (" << describe(run) << ")" << std::endl;
+    const sim::ExperimentResult result = config::execute(run);
+    std::cout << "    acc=" << std::fixed << std::setprecision(1)
+              << result.final_accuracy * 100.0 << "%  loss="
+              << std::setprecision(3) << result.final_loss
+              << "  rounds=" << result.rounds_run << "  data/node="
+              << sim::format_bytes(result.series.empty()
+                                       ? 0.0
+                                       : result.series.back().avg_bytes_per_node)
+              << "  sim-time=" << sim::format_seconds(result.sim_seconds)
+              << (result.reached_target ? "  [reached target]" : "") << "\n";
+
+    if (!write_files) continue;
+    char prefix[16];
+    std::snprintf(prefix, sizeof prefix, "run%03zu_", run.index);
+    const std::string base = prefix + file_slug(run.label);
+    const fs::path json_path = run_dir / (base + ".json");
+    const fs::path csv_path = run_dir / (base + ".csv");
+    {
+      std::ofstream json(json_path);
+      sim::write_result_json(json, scenario_name + "/" + run.label, result);
+    }
+    {
+      std::ofstream csv(csv_path);
+      sim::print_series_csv(csv, scenario_name + "/" + run.label, result);
+    }
+    grid_index << (run.index == 0 ? "\n" : ",\n");
+    grid_index << "  {\"index\": " << run.index
+               << ", \"label\": " << sim::json_string(run.label)
+               << ", \"json\": " << sim::json_string(base + ".json")
+               << ", \"csv\": " << sim::json_string(base + ".csv")
+               << ", \"final_accuracy\": "
+               << sim::json_number(result.final_accuracy)
+               << ", \"final_loss\": " << sim::json_number(result.final_loss)
+               << ", \"rounds_run\": " << result.rounds_run << "}";
+  }
+
+  if (write_files) {
+    grid_index << (runs.empty() ? "]\n" : "\n]\n");
+    std::ofstream grid(run_dir / "grid.json");
+    grid << grid_index.str();
+    std::cout << "wrote " << runs.size() << " result"
+              << (runs.size() == 1 ? "" : "s") << " (JSON + CSV) and grid.json"
+              << " to " << run_dir.string() << "\n";
+  }
+  return 0;
+}

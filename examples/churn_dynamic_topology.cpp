@@ -5,70 +5,42 @@
 // demonstrate both.
 //
 //   ./examples/churn_dynamic_topology [--nodes=16] [--rounds=80]
+//
+// The 3x2 grid (algorithm x static/dynamic) is two sweep lines in the
+// preset (scenarios/churn_dynamic_topology.scenario):
+//   algorithm   = jwins, full-sharing, choco
+//   churn_every = 0, 1
 
 #include <iomanip>
 #include <iostream>
 #include <string>
 
+#include "config/runner.hpp"
 #include "example_util.hpp"
-#include "graph/graph.hpp"
-#include "sim/experiment.hpp"
 #include "sim/report.hpp"
-#include "sim/workloads.hpp"
 
 int main(int argc, char** argv) {
   using namespace jwins;
 
-  std::size_t nodes = 16, rounds = 80;
-  std::size_t threads = net::ThreadPool::default_thread_count();
-  for (int i = 1; i < argc; ++i) {
-    const std::string_view arg = argv[i];
-    examples::match_flag(arg, "--nodes=", nodes) ||
-        examples::match_flag(arg, "--rounds=", rounds) ||
-        examples::match_flag(arg, "--threads=", threads);
-  }
+  const config::RawScenario raw = examples::load_preset_with_flags(
+      "churn_dynamic_topology.scenario", argc, argv);
+  const std::vector<config::ScenarioRun> runs = examples::expand_or_die(raw);
 
-  const sim::Workload workload = sim::make_femnist_like(nodes, /*seed=*/11);
-
-  auto run = [&](sim::Algorithm algorithm, bool dynamic) {
-    sim::ExperimentConfig config;
-    config.algorithm = algorithm;
-    config.rounds = rounds;
-    config.local_steps = 2;
-    config.sgd.learning_rate = 0.05f;
-    config.eval_every = rounds / 8;
-    config.threads = static_cast<unsigned>(threads);
-    config.choco.gamma = 0.5;
-    config.choco.fraction = 0.34;
-    std::unique_ptr<graph::TopologyProvider> topology;
-    if (dynamic) {
-      topology = std::make_unique<graph::DynamicRegularTopology>(nodes, 4, 11);
-    } else {
-      std::mt19937 rng(11);
-      topology = std::make_unique<graph::StaticTopology>(
-          graph::random_regular(nodes, 4, rng));
-    }
-    sim::Experiment experiment(config, workload.model_factory, *workload.train,
-                               workload.partition, *workload.test,
-                               std::move(topology));
-    return experiment.run();
-  };
-
-  std::cout << "Handwriting recognition under churn (" << nodes
+  std::cout << "Handwriting recognition under churn (" << runs.front().nodes
             << " nodes, neighbors re-randomized every round)\n\n";
   std::cout << std::left << std::setw(26) << "SETTING" << std::setw(12)
             << "ACCURACY" << "LOSS\n";
-  auto row = [](const char* label, const sim::ExperimentResult& r) {
+  // Grid order is odometer order: for each algorithm, static then dynamic.
+  for (const config::ScenarioRun& run : runs) {
+    const sim::ExperimentResult result = config::execute(run);
+    const std::string label =
+        std::string(sim::algorithm_name(run.config.algorithm)) +
+        (run.churn_every > 0 ? " / dynamic" : " / static");
     std::cout << std::left << std::setw(26) << label << std::setw(12)
-              << (std::to_string(r.final_accuracy * 100.0).substr(0, 5) + "%")
-              << std::fixed << std::setprecision(3) << r.final_loss << "\n";
-  };
-  row("jwins / static", run(sim::Algorithm::kJwins, false));
-  row("jwins / dynamic", run(sim::Algorithm::kJwins, true));
-  row("full-sharing / static", run(sim::Algorithm::kFullSharing, false));
-  row("full-sharing / dynamic", run(sim::Algorithm::kFullSharing, true));
-  row("choco / static", run(sim::Algorithm::kChoco, false));
-  row("choco / dynamic", run(sim::Algorithm::kChoco, true));
+              << (std::to_string(result.final_accuracy * 100.0).substr(0, 5) + "%")
+              << std::fixed << std::setprecision(3) << result.final_loss
+              << "\n";
+  }
   std::cout << "\nDynamic topologies help the stateless algorithms (better "
                "mixing) and hurt CHOCO,\nwhose error-feedback state assumes "
                "fixed neighbors — exactly the paper's Figure 7 story.\n";

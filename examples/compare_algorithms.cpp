@@ -4,63 +4,38 @@
 // accuracy-vs-bytes decision table.
 //
 //   ./examples/compare_algorithms [--nodes=16] [--rounds=60]
+//
+// The four-way comparison is one sweep line in the preset
+// (scenarios/compare_algorithms.scenario):
+//   algorithm = full-sharing, random-sampling, jwins, choco
 
 #include <iomanip>
 #include <iostream>
 #include <string>
 
+#include "config/runner.hpp"
 #include "example_util.hpp"
-#include "graph/graph.hpp"
-#include "sim/experiment.hpp"
 #include "sim/report.hpp"
-#include "sim/workloads.hpp"
 
 int main(int argc, char** argv) {
   using namespace jwins;
 
-  std::size_t nodes = 16, rounds = 60;
-  std::size_t threads = net::ThreadPool::default_thread_count();
-  for (int i = 1; i < argc; ++i) {
-    const std::string_view arg = argv[i];
-    examples::match_flag(arg, "--nodes=", nodes) ||
-        examples::match_flag(arg, "--rounds=", rounds) ||
-        examples::match_flag(arg, "--threads=", threads);
-  }
-
-  const sim::Workload workload = sim::make_movielens_like(nodes, /*seed=*/7);
-
-  auto run = [&](sim::Algorithm algorithm) {
-    sim::ExperimentConfig config;
-    config.algorithm = algorithm;
-    config.rounds = rounds;
-    config.local_steps = 2;
-    config.sgd.learning_rate = 0.05f;
-    config.eval_every = rounds / 6;
-    config.threads = static_cast<unsigned>(threads);
-    config.random_sampling_fraction = 0.37;
-    config.choco.gamma = 0.5;
-    config.choco.fraction = 0.34;
-    std::mt19937 rng(7);
-    auto topology = std::make_unique<graph::StaticTopology>(
-        graph::random_regular(nodes, 4, rng));
-    sim::Experiment experiment(config, workload.model_factory, *workload.train,
-                               workload.partition, *workload.test,
-                               std::move(topology));
-    return experiment.run();
-  };
+  const config::RawScenario raw = examples::load_preset_with_flags(
+      "compare_algorithms.scenario", argc, argv);
+  const std::vector<config::ScenarioRun> runs = examples::expand_or_die(raw);
+  const config::ScenarioRun& first = runs.front();
 
   std::cout << "Algorithm comparison on the recommendation workload ("
-            << nodes << " nodes, " << rounds << " rounds)\n";
+            << first.nodes << " nodes, " << first.config.rounds
+            << " rounds)\n";
   std::cout << "accuracy = fraction of predictions within 0.5 stars\n\n";
   std::cout << std::left << std::setw(18) << "ALGORITHM" << std::setw(12)
             << "ACCURACY" << std::setw(10) << "LOSS" << std::setw(14)
             << "DATA/NODE" << "SIM-TIME\n";
-  for (const auto algorithm :
-       {sim::Algorithm::kFullSharing, sim::Algorithm::kRandomSampling,
-        sim::Algorithm::kJwins, sim::Algorithm::kChoco}) {
-    const auto result = run(algorithm);
-    std::cout << std::left << std::setw(18) << sim::algorithm_name(algorithm)
-              << std::setw(12)
+  for (const config::ScenarioRun& run : runs) {
+    const sim::ExperimentResult result = config::execute(run);
+    std::cout << std::left << std::setw(18)
+              << sim::algorithm_name(run.config.algorithm) << std::setw(12)
               << (std::to_string(result.final_accuracy * 100.0).substr(0, 5) + "%")
               << std::setw(10) << std::fixed << std::setprecision(3)
               << result.final_loss << std::setw(14)

@@ -1,12 +1,17 @@
-// Shared --key=value flag parsing for the examples: strict unsigned-integer
-// validation (std::from_chars rejects negatives and trailing garbage, which
-// std::stoul silently accepts), clean error + exit 2 on bad input.
+// Shared helpers for the examples: strict --key=value flag parsing
+// (std::from_chars rejects negatives and trailing garbage, which std::stoul
+// silently accepts; clean error + exit 2 on bad input) and scenario-preset
+// loading — every example's experiment wiring lives in a checked-in
+// scenarios/*.scenario file (docs/EXPERIMENTS.md).
 #pragma once
 
 #include <charconv>
 #include <cstdlib>
 #include <iostream>
+#include <string>
 #include <string_view>
+
+#include "config/scenario.hpp"
 
 namespace jwins::examples {
 
@@ -26,6 +31,45 @@ inline bool match_flag(std::string_view arg, std::string_view key,
   }
   out = parsed;
   return true;
+}
+
+/// Loads the example's scenario preset and layers the standard
+/// --nodes/--rounds/--threads overrides on top. Exits with a clean
+/// diagnostic on malformed flags or a broken scenario file.
+inline config::RawScenario load_preset_with_flags(const char* filename,
+                                                  int argc, char** argv) {
+  try {
+    config::RawScenario raw = config::load_scenario_file(
+        std::string(JWINS_SCENARIO_DIR "/") + filename);
+    for (int i = 1; i < argc; ++i) {
+      const std::string_view arg = argv[i];
+      std::size_t value = 0;
+      if (match_flag(arg, "--nodes=", value)) {
+        config::set_value(raw, "nodes", std::to_string(value));
+      } else if (match_flag(arg, "--rounds=", value)) {
+        config::set_value(raw, "rounds", std::to_string(value));
+      } else if (match_flag(arg, "--threads=", value)) {
+        config::set_value(raw, "threads", std::to_string(value));
+      }
+    }
+    return raw;
+  } catch (const config::ScenarioError& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    std::exit(2);
+  }
+}
+
+/// Expands the preset's sweep grid, mapping ScenarioError (e.g. a --nodes
+/// override that breaks topology feasibility) to the examples' clean
+/// `error: ...` + exit 2 contract instead of an escaping exception.
+inline std::vector<config::ScenarioRun> expand_or_die(
+    const config::RawScenario& raw) {
+  try {
+    return config::expand_grid(raw);
+  } catch (const config::ScenarioError& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    std::exit(2);
+  }
 }
 
 }  // namespace jwins::examples

@@ -5,81 +5,40 @@
 // under the same cap, on the stacked-LSTM Shakespeare stand-in.
 //
 //   ./examples/low_budget_edge [--nodes=12] [--rounds=40]
+//
+// Everything — the 10 Mbit/s / 20 ms link model, the two-point cut-off
+// (jwins_cutoff = two-point:0.05:0.05), CHoCo's matching TopK 10% cap —
+// is declared in scenarios/low_budget_edge.scenario.
 
 #include <iomanip>
 #include <iostream>
-#include <string>
 
-#include "core/cutoff.hpp"
+#include "config/runner.hpp"
 #include "example_util.hpp"
-#include "graph/graph.hpp"
-#include "sim/experiment.hpp"
 #include "sim/report.hpp"
-#include "sim/workloads.hpp"
 
 int main(int argc, char** argv) {
   using namespace jwins;
 
-  std::size_t nodes = 12, rounds = 40;
-  std::size_t threads = net::ThreadPool::default_thread_count();
-  for (int i = 1; i < argc; ++i) {
-    const std::string_view arg = argv[i];
-    examples::match_flag(arg, "--nodes=", nodes) ||
-        examples::match_flag(arg, "--rounds=", rounds) ||
-        examples::match_flag(arg, "--threads=", threads);
-  }
+  const config::RawScenario raw = examples::load_preset_with_flags(
+      "low_budget_edge.scenario", argc, argv);
+  const std::vector<config::ScenarioRun> runs = examples::expand_or_die(raw);
+  const config::ScenarioRun& first = runs.front();
 
-  const sim::Workload workload = sim::make_shakespeare_like(nodes, /*seed=*/3);
-
-  // Slow edge links: 10 Mbit/s, 20 ms latency — the regime where the
-  // communication budget decides wall-clock time.
-  net::LinkModel link;
-  link.bandwidth_bytes_per_sec = 1.25e6;
-  link.latency_sec = 20e-3;
-
-  auto base_config = [&](sim::Algorithm algorithm) {
-    sim::ExperimentConfig config;
-    config.algorithm = algorithm;
-    config.rounds = rounds;
-    config.local_steps = workload.suggested_local_steps;
-    config.sgd.learning_rate = workload.suggested_lr;
-    config.eval_every = rounds / 5;
-    config.eval_sample_limit = 48;
-    config.threads = static_cast<unsigned>(threads);
-    config.link = link;
-    return config;
+  auto result_for = [&](sim::Algorithm algorithm) {
+    for (const config::ScenarioRun& run : runs) {
+      if (run.config.algorithm == algorithm) return config::execute(run);
+    }
+    std::cerr << "error: algorithm: the scenario grid has no "
+              << sim::algorithm_name(algorithm) << " cell\n";
+    std::exit(2);
   };
-  auto topo = [&] {
-    std::mt19937 rng(3);
-    return std::make_unique<graph::StaticTopology>(
-        graph::random_regular(nodes, 4, rng));
-  };
+  const auto jwins_result = result_for(sim::Algorithm::kJwins);
+  const auto choco_result = result_for(sim::Algorithm::kChoco);
+  const auto full_result = result_for(sim::Algorithm::kFullSharing);
 
-  // JWINS at a 10% budget: p(alpha=100%) = 0.05, p(alpha=5%) = 0.95.
-  auto jwins_config = base_config(sim::Algorithm::kJwins);
-  jwins_config.jwins.cutoff = core::RandomizedCutoff::two_point(0.05, 0.05);
-  sim::Experiment jwins_exp(jwins_config, workload.model_factory,
-                            *workload.train, workload.partition,
-                            *workload.test, topo());
-  const auto jwins_result = jwins_exp.run();
-
-  // CHOCO at the same cap (TopK 10%, the paper's tuned gamma for 10%).
-  auto choco_config = base_config(sim::Algorithm::kChoco);
-  choco_config.choco.fraction = 0.10;
-  choco_config.choco.gamma = 0.1;
-  sim::Experiment choco_exp(choco_config, workload.model_factory,
-                            *workload.train, workload.partition,
-                            *workload.test, topo());
-  const auto choco_result = choco_exp.run();
-
-  // Full-sharing reference (no budget), for context.
-  sim::Experiment full_exp(base_config(sim::Algorithm::kFullSharing),
-                           workload.model_factory, *workload.train,
-                           workload.partition, *workload.test, topo());
-  const auto full_result = full_exp.run();
-
-  std::cout << "Next-character prediction on " << nodes
-            << " edge nodes, 10% communication budget, " << rounds
+  std::cout << "Next-character prediction on " << first.nodes
+            << " edge nodes, 10% communication budget, " << first.config.rounds
             << " rounds\n\n";
   auto row = [](const char* label, const sim::ExperimentResult& r) {
     std::cout << "  " << std::left << std::setw(22) << label

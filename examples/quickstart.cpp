@@ -3,62 +3,39 @@
 //
 //   ./examples/quickstart [--nodes=16] [--rounds=60] [--threads=N]
 //
-// This is the smallest end-to-end use of the public API:
-//   1. build a workload (dataset + non-IID partition + model factory),
-//   2. pick a topology,
-//   3. configure the algorithm,
-//   4. run and read the metrics.
+// This is the smallest end-to-end use of the public API — and of the
+// declarative scenario engine (docs/EXPERIMENTS.md):
+//   1. load a scenario preset (workload + topology + algorithm + knobs,
+//      all declared in scenarios/quickstart.scenario),
+//   2. expand it into its run grid (one run here: no sweep lists),
+//   3. execute and read the metrics.
+// The same preset runs without any C++ via
+//   jwins_run scenarios/quickstart.scenario
 
 #include <iostream>
-#include <random>
-#include <string>
 
+#include "config/runner.hpp"
 #include "example_util.hpp"
-#include "graph/graph.hpp"
-#include "sim/experiment.hpp"
 #include "sim/report.hpp"
-#include "sim/workloads.hpp"
 
 int main(int argc, char** argv) {
   using namespace jwins;
 
-  std::size_t nodes = 16, rounds = 60;
-  std::size_t threads = net::ThreadPool::default_thread_count();
-  for (int i = 1; i < argc; ++i) {
-    const std::string_view arg = argv[i];
-    examples::match_flag(arg, "--nodes=", nodes) ||
-        examples::match_flag(arg, "--rounds=", rounds) ||
-        examples::match_flag(arg, "--threads=", threads);
-  }
+  // 1. The declarative scenario: CIFAR-10-like non-IID workload, random
+  //    4-regular topology, JWINS with the paper's default randomized
+  //    cut-off (alpha uniform over {10,15,20,25,30,40,100}%).
+  const config::RawScenario raw =
+      examples::load_preset_with_flags("quickstart.scenario", argc, argv);
 
-  // 1. Workload: 10-class synthetic images, sort-and-shard non-IID split
-  //    (2 shards per node, <= 4 classes each), GN-LeNet-style CNN.
-  const sim::Workload workload = sim::make_cifar_like(nodes, /*seed=*/42);
+  // 2. Expand sweep lists into the run grid. This preset has none, so the
+  //    grid is a single fully-validated run.
+  const config::ScenarioRun run = examples::expand_or_die(raw).front();
 
-  // 2. Topology: random 4-regular graph, as in the paper's test bed.
-  std::mt19937 topo_rng(42);
-  auto topology = std::make_unique<graph::StaticTopology>(
-      graph::random_regular(nodes, 4, topo_rng));
+  // 3. Execute: workload build, topology, node construction, and the
+  //    bulk-synchronous round loop all happen inside.
+  const sim::ExperimentResult result = config::execute(run);
 
-  // 3. Algorithm: JWINS with the paper's default randomized cut-off
-  //    (alpha uniform over {10,15,20,25,30,40,100}%).
-  sim::ExperimentConfig config;
-  config.algorithm = sim::Algorithm::kJwins;
-  config.rounds = rounds;
-  config.local_steps = 2;
-  config.sgd.learning_rate = 0.05f;
-  config.eval_every = 5;
-  // Bit-identical at any thread count (docs/DESIGN.md), so default to all
-  // hardware threads; --threads=1 gives the fully sequential engine.
-  config.threads = static_cast<unsigned>(threads);
-
-  // 4. Run.
-  sim::Experiment experiment(config, workload.model_factory, *workload.train,
-                             workload.partition, *workload.test,
-                             std::move(topology));
-  const sim::ExperimentResult result = experiment.run();
-
-  std::cout << "JWINS on " << nodes << " nodes, " << result.rounds_run
+  std::cout << "JWINS on " << run.nodes << " nodes, " << result.rounds_run
             << " rounds\n\n";
   std::cout << "round  accuracy  loss   data/node\n";
   for (const auto& p : result.series) {

@@ -1,0 +1,36 @@
+// Maps a validated ScenarioRun onto the simulation stack: workload factory
+// (sim/workloads), topology provider (graph/), and the Experiment itself.
+// This is the single place the scenario vocabulary ("regular", "churn_every",
+// "auto" learning rate) is translated into constructor wiring, so a scenario
+// file and a hand-written bench that agree on the knobs produce bit-identical
+// results (the golden-file test in tests/test_config.cpp holds this to the
+// pre-refactor bench wiring).
+#pragma once
+
+#include <memory>
+
+#include "config/scenario.hpp"
+#include "graph/graph.hpp"
+#include "sim/experiment.hpp"
+#include "sim/workloads.hpp"
+
+namespace jwins::config {
+
+/// Builds the run's workload (seeded from config.seed, like the benches).
+sim::Workload make_run_workload(const ScenarioRun& run);
+
+/// Builds the run's topology provider (regular/ring/torus/full, with the
+/// churn schedule for regular).
+std::unique_ptr<graph::TopologyProvider> make_run_topology(
+    const ScenarioRun& run);
+
+/// The run's ExperimentConfig with the "auto" sentinels resolved against the
+/// workload (suggested learning rate / local steps) and threads = 0 resolved
+/// to every hardware thread.
+sim::ExperimentConfig resolve_config(const ScenarioRun& run,
+                                     const sim::Workload& workload);
+
+/// Wires everything up and runs to completion.
+sim::ExperimentResult execute(const ScenarioRun& run);
+
+}  // namespace jwins::config

@@ -1,0 +1,667 @@
+#include "config/scenario.hpp"
+
+#include <charconv>
+#include <cmath>
+#include <fstream>
+#include <functional>
+#include <sstream>
+
+#include "core/cutoff.hpp"
+
+namespace jwins::config {
+
+namespace {
+
+[[noreturn]] void fail(const std::string& key, const std::string& why) {
+  throw ScenarioError(key + ": " + why);
+}
+
+std::string_view trim(std::string_view s) {
+  while (!s.empty() && (s.front() == ' ' || s.front() == '\t')) s.remove_prefix(1);
+  while (!s.empty() && (s.back() == ' ' || s.back() == '\t' || s.back() == '\r'))
+    s.remove_suffix(1);
+  return s;
+}
+
+/// Strict full-string numeric parse: rejects sign-wrapped negatives,
+/// trailing garbage, and empty strings (same contract as bench_util.hpp).
+template <typename T>
+bool parse_full(std::string_view text, T& out) {
+  const char* const end = text.data() + text.size();
+  const auto [parsed_end, ec] = std::from_chars(text.data(), end, out);
+  return ec == std::errc{} && parsed_end == end;
+}
+
+std::size_t parse_uint(const std::string& key, const std::string& value,
+                       std::size_t min_value = 0) {
+  std::size_t out = 0;
+  if (!parse_full(std::string_view(value), out)) {
+    fail(key, "\"" + value + "\" is not an unsigned integer");
+  }
+  if (out < min_value) {
+    fail(key, "must be >= " + std::to_string(min_value) +
+                  " (got " + value + ")");
+  }
+  return out;
+}
+
+std::uint64_t parse_u64(const std::string& key, const std::string& value) {
+  std::uint64_t out = 0;
+  if (!parse_full(std::string_view(value), out)) {
+    fail(key, "\"" + value + "\" is not an unsigned integer");
+  }
+  return out;
+}
+
+double parse_double(const std::string& key, const std::string& value) {
+  double out = 0.0;
+  if (!parse_full(std::string_view(value), out) || !std::isfinite(out)) {
+    fail(key, "\"" + value + "\" is not a finite number");
+  }
+  return out;
+}
+
+double parse_double_in(const std::string& key, const std::string& value,
+                       double lo, double hi, bool lo_open, const char* range) {
+  const double v = parse_double(key, value);
+  const bool below = lo_open ? v <= lo : v < lo;
+  if (below || v > hi) fail(key, std::string("must be in ") + range);
+  return v;
+}
+
+bool parse_bool(const std::string& key, const std::string& value) {
+  if (value == "true" || value == "on" || value == "1") return true;
+  if (value == "false" || value == "off" || value == "0") return false;
+  fail(key, "\"" + value + "\" is not a bool (true/false/on/off/1/0)");
+}
+
+void expect_enum(const std::string& key, const std::string& value,
+                 std::initializer_list<const char*> allowed) {
+  for (const char* a : allowed) {
+    if (value == a) return;
+  }
+  std::string list;
+  for (const char* a : allowed) {
+    if (!list.empty()) list += ", ";
+    list += a;
+  }
+  fail(key, "unknown value \"" + value + "\" (valid: " + list + ")");
+}
+
+sim::Algorithm parse_algorithm(const std::string& key,
+                               const std::string& value) {
+  if (value == "full-sharing") return sim::Algorithm::kFullSharing;
+  if (value == "random-sampling") return sim::Algorithm::kRandomSampling;
+  if (value == "jwins") return sim::Algorithm::kJwins;
+  if (value == "choco") return sim::Algorithm::kChoco;
+  if (value == "power-gossip") return sim::Algorithm::kPowerGossip;
+  expect_enum(key, value,
+              {"full-sharing", "random-sampling", "jwins", "choco",
+               "power-gossip"});
+  return sim::Algorithm::kJwins;  // unreachable
+}
+
+/// Cutoff spec grammar (colon-separated so sweep commas stay unambiguous):
+///   paper                       uniform over {10,15,20,25,30,40,100}%
+///   fixed:<alpha>               degenerate distribution (the ablation arm)
+///   two-point:<alpha_low>:<p_full>   budget distribution (paper §IV-D)
+core::RandomizedCutoff parse_cutoff(const std::string& key,
+                                    const std::string& value) {
+  if (value == "paper") return core::RandomizedCutoff::paper_default();
+  const auto in_unit = [&](std::string_view text, const char* what) {
+    double v = 0.0;
+    if (!parse_full(text, v) || !(v > 0.0) || v > 1.0) {
+      fail(key, std::string(what) + " must be a number in (0, 1] (got \"" +
+                    std::string(text) + "\")");
+    }
+    return v;
+  };
+  const std::string_view sv = value;
+  if (sv.rfind("fixed:", 0) == 0) {
+    return core::RandomizedCutoff::fixed(
+        in_unit(sv.substr(6), "fixed:<alpha> alpha"));
+  }
+  if (sv.rfind("two-point:", 0) == 0) {
+    const std::string_view rest = sv.substr(10);
+    const auto colon = rest.find(':');
+    if (colon == std::string_view::npos) {
+      fail(key, "two-point needs two fields: two-point:<alpha_low>:<p_full>");
+    }
+    const double alpha_low = in_unit(rest.substr(0, colon), "alpha_low");
+    const double p_full = in_unit(rest.substr(colon + 1), "p_full");
+    return core::RandomizedCutoff::two_point(alpha_low, p_full);
+  }
+  fail(key, "unknown cutoff \"" + value +
+                "\" (valid: paper, fixed:<alpha>, two-point:<alpha_low>:<p_full>)");
+}
+
+core::IndexEncoding parse_index_encoding(const std::string& key,
+                                         const std::string& value) {
+  if (value == "elias-gamma") return core::IndexEncoding::kEliasGamma;
+  if (value == "raw") return core::IndexEncoding::kRaw;
+  expect_enum(key, value, {"elias-gamma", "raw"});
+  return core::IndexEncoding::kEliasGamma;  // unreachable
+}
+
+core::ValueEncoding parse_value_encoding(const std::string& key,
+                                         const std::string& value) {
+  if (value == "xor") return core::ValueEncoding::kXorCodec;
+  if (value == "raw") return core::ValueEncoding::kRaw;
+  expect_enum(key, value, {"xor", "raw"});
+  return core::ValueEncoding::kXorCodec;  // unreachable
+}
+
+/// Splits a value into its comma-separated sweep list. `where` names the
+/// error site ("line N" in a file, the key itself for --set overrides).
+std::vector<std::string> split_sweep(const std::string& where,
+                                     const std::string& key,
+                                     std::string_view text) {
+  std::vector<std::string> values;
+  while (true) {
+    const std::size_t comma = text.find(',');
+    const std::string_view piece =
+        trim(comma == std::string_view::npos ? text : text.substr(0, comma));
+    if (piece.empty()) {
+      fail(where, "empty value in \"" + key + "\" (sweep lists are "
+                  "comma-separated, no trailing commas)");
+    }
+    values.emplace_back(piece);
+    if (comma == std::string_view::npos) break;
+    text = text.substr(comma + 1);
+  }
+  return values;
+}
+
+struct KeySpec {
+  KeyInfo info;
+  std::function<void(ScenarioRun&, const std::string&)> apply;
+};
+
+const std::vector<KeySpec>& key_specs() {
+  static const std::vector<KeySpec> specs = [] {
+    std::vector<KeySpec> s;
+    auto add = [&s](KeyInfo info,
+                    std::function<void(ScenarioRun&, const std::string&)> fn) {
+      s.push_back({info, std::move(fn)});
+    };
+
+    // --- experiment grid -------------------------------------------------
+    add({"workload", "enum", "cifar",
+         "cifar, cifar4, movielens, shakespeare, celeba, femnist",
+         "Paper dataset stand-in (cifar4 = the 4-shards-per-node split of "
+         "the scalability study)"},
+        [](ScenarioRun& r, const std::string& v) {
+          expect_enum("workload", v,
+                      {"cifar", "cifar4", "movielens", "shakespeare", "celeba",
+                       "femnist"});
+          r.workload = v;
+        });
+    add({"nodes", "uint", "16", ">= 2", "Number of simulated nodes"},
+        [](ScenarioRun& r, const std::string& v) {
+          r.nodes = parse_uint("nodes", v, 2);
+        });
+    add({"scale", "float", "1.0", "(0, 1e9]",
+         "Dataset size multiplier (1.0 = bench-sized; paper-scale runs use "
+         "more)"},
+        [](ScenarioRun& r, const std::string& v) {
+          r.scale = parse_double_in("scale", v, 0.0, 1e9, true, "(0, 1e9]");
+        });
+    add({"algorithm", "enum", "jwins",
+         "full-sharing, random-sampling, jwins, choco, power-gossip",
+         "Decentralized learning algorithm"},
+        [](ScenarioRun& r, const std::string& v) {
+          r.config.algorithm = parse_algorithm("algorithm", v);
+        });
+    add({"seed", "uint", "1", "any",
+         "Master seed: data, model init, topology, cut-off draws"},
+        [](ScenarioRun& r, const std::string& v) {
+          r.config.seed = parse_u64("seed", v);
+        });
+
+    // --- topology --------------------------------------------------------
+    add({"topology", "enum", "regular", "regular, ring, torus, full",
+         "Communication graph: random k-regular (the paper's test bed), "
+         "ring lattice, 2-D torus, or fully connected"},
+        [](ScenarioRun& r, const std::string& v) {
+          expect_enum("topology", v, {"regular", "ring", "torus", "full"});
+          r.topology = v;
+        });
+    add({"topology_degree", "uint", "0 (auto)",
+         "0 = paper schedule (3 below 16 nodes, 4 at 16-191, 5 at 192-383, "
+         "6 at 384+; ring: 2); ring needs an even degree",
+         "Node degree; ignored for torus (always 4) and full"},
+        [](ScenarioRun& r, const std::string& v) {
+          r.topology_degree = parse_uint("topology_degree", v);
+        });
+    add({"churn_every", "uint", "0 (static)", "requires topology = regular",
+         "Churn schedule: re-randomize neighbors every N rounds (1 = every "
+         "round, the Figure 7 dynamic setting)"},
+        [](ScenarioRun& r, const std::string& v) {
+          r.churn_every = parse_uint("churn_every", v);
+        });
+
+    // --- round loop ------------------------------------------------------
+    add({"rounds", "uint", "100", ">= 1",
+         "Communication rounds (the cap when target_accuracy is set)"},
+        [](ScenarioRun& r, const std::string& v) {
+          r.config.rounds = parse_uint("rounds", v, 1);
+        });
+    add({"target_accuracy", "float", "off", "off, or (0, 1]",
+         "Stop once mean test accuracy reaches this fraction (the Figure 5/6 "
+         "protocol)"},
+        [](ScenarioRun& r, const std::string& v) {
+          if (v == "off") {
+            r.config.target_accuracy = -1.0;
+          } else {
+            r.config.target_accuracy =
+                parse_double_in("target_accuracy", v, 0.0, 1.0, true,
+                                "(0, 1] (a fraction, not a percentage)");
+          }
+        });
+    add({"local_steps", "uint", "auto", "auto, or >= 1",
+         "Local SGD steps per round (tau); auto = the workload's suggestion"},
+        [](ScenarioRun& r, const std::string& v) {
+          if (v == "auto") {
+            r.auto_local_steps = true;
+          } else {
+            r.config.local_steps = parse_uint("local_steps", v, 1);
+            r.auto_local_steps = false;
+          }
+        });
+    add({"learning_rate", "float", "auto", "auto, or (0, 1e3]",
+         "SGD learning rate; auto = the workload's grid-searched suggestion"},
+        [](ScenarioRun& r, const std::string& v) {
+          if (v == "auto") {
+            r.auto_learning_rate = true;
+          } else {
+            r.config.sgd.learning_rate = static_cast<float>(
+                parse_double_in("learning_rate", v, 0.0, 1e3, true, "(0, 1e3]"));
+            r.auto_learning_rate = false;
+          }
+        });
+    add({"momentum", "float", "0", "[0, 1)",
+         "SGD momentum (paper: 0, plain SGD)"},
+        [](ScenarioRun& r, const std::string& v) {
+          const double m = parse_double("momentum", v);
+          if (m < 0.0 || m >= 1.0) fail("momentum", "must be in [0, 1)");
+          r.config.sgd.momentum = static_cast<float>(m);
+        });
+    add({"weight_decay", "float", "0", ">= 0", "SGD weight decay"},
+        [](ScenarioRun& r, const std::string& v) {
+          const double w = parse_double("weight_decay", v);
+          if (w < 0.0) fail("weight_decay", "must be >= 0");
+          r.config.sgd.weight_decay = static_cast<float>(w);
+        });
+    add({"lr_decay_factor", "float", "1.0", "(0, 1]",
+         "Multiply the learning rate by this every lr_decay_every rounds"},
+        [](ScenarioRun& r, const std::string& v) {
+          r.config.lr_decay_factor =
+              parse_double_in("lr_decay_factor", v, 0.0, 1.0, true, "(0, 1]");
+        });
+    add({"lr_decay_every", "uint", "0 (off)", "any",
+         "Learning-rate decay period in rounds (0 = constant)"},
+        [](ScenarioRun& r, const std::string& v) {
+          r.config.lr_decay_every = parse_uint("lr_decay_every", v);
+        });
+    add({"message_drop_probability", "float", "0", "[0, 1)",
+         "Failure injection: probability any message is dropped in flight"},
+        [](ScenarioRun& r, const std::string& v) {
+          const double p = parse_double("message_drop_probability", v);
+          if (p < 0.0 || p >= 1.0) {
+            fail("message_drop_probability", "must be in [0, 1)");
+          }
+          r.config.message_drop_probability = p;
+        });
+
+    // --- evaluation ------------------------------------------------------
+    add({"eval_every", "uint", "10", ">= 1", "Evaluate every N rounds"},
+        [](ScenarioRun& r, const std::string& v) {
+          r.config.eval_every = parse_uint("eval_every", v, 1);
+        });
+    add({"eval_sample_limit", "uint", "512", ">= 1",
+         "Test-set subsample per evaluation"},
+        [](ScenarioRun& r, const std::string& v) {
+          r.config.eval_sample_limit = parse_uint("eval_sample_limit", v, 1);
+        });
+    add({"eval_node_limit", "uint", "0 (all)", "any",
+         "Evaluate only the first N nodes (0 = every node)"},
+        [](ScenarioRun& r, const std::string& v) {
+          r.config.eval_node_limit = parse_uint("eval_node_limit", v);
+        });
+
+    // --- execution -------------------------------------------------------
+    add({"threads", "uint", "0 (auto)", "0 = all hardware threads",
+         "Execution lanes; results are bit-identical at any value"},
+        [](ScenarioRun& r, const std::string& v) {
+          r.config.threads =
+              static_cast<unsigned>(parse_uint("threads", v));
+        });
+    add({"compute_seconds_per_round", "float", "0.05", ">= 0",
+         "Simulated compute cost per round (identical across algorithms)"},
+        [](ScenarioRun& r, const std::string& v) {
+          const double c = parse_double("compute_seconds_per_round", v);
+          if (c < 0.0) fail("compute_seconds_per_round", "must be >= 0");
+          r.config.compute_seconds_per_round = c;
+        });
+    add({"bandwidth_mbit", "float", "100", "> 0",
+         "Link bandwidth in Mbit/s (the simulated-time model)"},
+        [](ScenarioRun& r, const std::string& v) {
+          r.config.link.bandwidth_bytes_per_sec =
+              parse_double_in("bandwidth_mbit", v, 0.0, 1e9, true, "(0, 1e9]") *
+              1e6 / 8.0;
+        });
+    add({"latency_ms", "float", "2", ">= 0", "Link latency in milliseconds"},
+        [](ScenarioRun& r, const std::string& v) {
+          const double ms = parse_double("latency_ms", v);
+          if (ms < 0.0) fail("latency_ms", "must be >= 0");
+          r.config.link.latency_sec = ms / 1000.0;
+        });
+
+    // --- algorithm knobs -------------------------------------------------
+    add({"random_sampling_fraction", "float", "0.37", "(0, 1]",
+         "Random-sampling baseline: fraction of parameters shared per round"},
+        [](ScenarioRun& r, const std::string& v) {
+          r.config.random_sampling_fraction = parse_double_in(
+              "random_sampling_fraction", v, 0.0, 1.0, true, "(0, 1]");
+        });
+    add({"jwins_wavelet", "enum", "sym2", "haar, db2, sym2, db4",
+         "Wavelet family for the JWINS ranking transform"},
+        [](ScenarioRun& r, const std::string& v) {
+          expect_enum("jwins_wavelet", v, {"haar", "db2", "sym2", "db4"});
+          r.config.jwins.ranker.wavelet = v;
+        });
+    add({"jwins_levels", "uint", "4", ">= 1",
+         "Wavelet decomposition levels (paper: 4)"},
+        [](ScenarioRun& r, const std::string& v) {
+          r.config.jwins.ranker.levels = parse_uint("jwins_levels", v, 1);
+        });
+    add({"jwins_use_wavelet", "bool", "true", "true, false",
+         "false = rank in the raw parameter domain (the Fig. 8 ablation)"},
+        [](ScenarioRun& r, const std::string& v) {
+          r.config.jwins.ranker.use_wavelet =
+              parse_bool("jwins_use_wavelet", v);
+        });
+    add({"jwins_use_accumulation", "bool", "true", "true, false",
+         "false = clear importance scores every round (the Fig. 8 ablation)"},
+        [](ScenarioRun& r, const std::string& v) {
+          r.config.jwins.ranker.use_accumulation =
+              parse_bool("jwins_use_accumulation", v);
+        });
+    add({"jwins_cutoff", "string", "paper",
+         "paper, fixed:<alpha>, two-point:<alpha_low>:<p_full>",
+         "Randomized cut-off distribution for the per-round sharing fraction"},
+        [](ScenarioRun& r, const std::string& v) {
+          r.config.jwins.cutoff = parse_cutoff("jwins_cutoff", v);
+        });
+    add({"index_encoding", "enum", "elias-gamma", "elias-gamma, raw",
+         "Sparse-index compression for JWINS and CHoCo payloads (the Fig. 9 "
+         "arms)"},
+        [](ScenarioRun& r, const std::string& v) {
+          const core::IndexEncoding e = parse_index_encoding("index_encoding", v);
+          r.config.jwins.index_encoding = e;
+          r.config.choco.index_encoding = e;
+        });
+    add({"value_encoding", "enum", "xor", "xor, raw",
+         "Coefficient-value compression for JWINS and CHoCo payloads"},
+        [](ScenarioRun& r, const std::string& v) {
+          const core::ValueEncoding e = parse_value_encoding("value_encoding", v);
+          r.config.jwins.value_encoding = e;
+          r.config.choco.value_encoding = e;
+        });
+    add({"choco_gamma", "float", "0.6", "(0, 1]",
+         "CHoCo consensus step size (the sensitive knob)"},
+        [](ScenarioRun& r, const std::string& v) {
+          r.config.choco.gamma =
+              parse_double_in("choco_gamma", v, 0.0, 1.0, true, "(0, 1]");
+        });
+    add({"choco_fraction", "float", "0.2", "(0, 1]",
+         "CHoCo TopK fraction of parameters per round"},
+        [](ScenarioRun& r, const std::string& v) {
+          r.config.choco.fraction =
+              parse_double_in("choco_fraction", v, 0.0, 1.0, true, "(0, 1]");
+        });
+    add({"choco_compressor", "enum", "topk", "topk, qsgd",
+         "CHoCo compressor choice"},
+        [](ScenarioRun& r, const std::string& v) {
+          expect_enum("choco_compressor", v, {"topk", "qsgd"});
+          r.config.choco.compressor = v == "topk"
+                                          ? algo::ChocoNode::Compressor::kTopK
+                                          : algo::ChocoNode::Compressor::kQsgd;
+        });
+    add({"choco_qsgd_levels", "uint", "15", ">= 1",
+         "Quantization levels for the qsgd compressor"},
+        [](ScenarioRun& r, const std::string& v) {
+          r.config.choco.qsgd_levels = static_cast<std::uint32_t>(
+              parse_uint("choco_qsgd_levels", v, 1));
+        });
+    add({"power_gossip_gamma", "float", "1.0", "(0, 1e3]",
+         "PowerGossip consensus step on the rank-1 estimates"},
+        [](ScenarioRun& r, const std::string& v) {
+          r.config.power_gossip.gamma =
+              parse_double_in("power_gossip_gamma", v, 0.0, 1e3, true,
+                              "(0, 1e3]");
+        });
+    return s;
+  }();
+  return specs;
+}
+
+const KeySpec* find_key(const std::string& key) {
+  for (const KeySpec& spec : key_specs()) {
+    if (key == spec.info.key) return &spec;
+  }
+  return nullptr;
+}
+
+/// Scenario-level rules that span several keys (the per-key appliers above
+/// can only see one value at a time).
+void validate_cross_field(const ScenarioRun& run) {
+  const std::size_t degree = effective_degree(run);
+  if (run.topology == "regular") {
+    if (degree >= run.nodes || (run.nodes * degree) % 2 != 0) {
+      fail("topology",
+           "random regular requires degree < nodes and nodes*degree even "
+           "(got nodes=" + std::to_string(run.nodes) +
+               ", degree=" + std::to_string(degree) + ")");
+    }
+  } else if (run.topology == "ring") {
+    if (degree < 2 || degree % 2 != 0 || degree >= run.nodes) {
+      fail("topology_degree",
+           "ring requires an even degree >= 2 and < nodes (got degree=" +
+               std::to_string(degree) +
+               ", nodes=" + std::to_string(run.nodes) + ")");
+    }
+  } else if (run.topology == "torus") {
+    if (torus_rows(run.nodes) == 0) {
+      fail("nodes", "torus requires a composite node count (rows x cols, "
+                    "both >= 2; got " + std::to_string(run.nodes) + ")");
+    }
+  }
+  if (run.churn_every > 0 && run.topology != "regular") {
+    fail("churn_every",
+         "churn re-randomizes a random regular graph; set topology = regular "
+         "(got topology = " + run.topology + ")");
+  }
+  // The Experiment's own cross-field rules, surfaced with the same
+  // "error: <key>: <why>" shape before anything is built.
+  //
+  // learning_rate/local_steps may still be the "auto" sentinels here; they
+  // resolve to the workload's (validated) suggestions in the runner, so
+  // validate a resolved copy.
+  sim::ExperimentConfig probe = run.config;
+  if (run.auto_learning_rate) probe.sgd.learning_rate = 0.05f;
+  if (run.auto_local_steps) probe.local_steps = 1;
+  const std::vector<std::string> errors = probe.validate();
+  if (!errors.empty()) throw ScenarioError(errors.front());
+}
+
+}  // namespace
+
+const std::vector<KeyInfo>& scenario_keys() {
+  static const std::vector<KeyInfo> keys = [] {
+    std::vector<KeyInfo> out;
+    out.push_back({"name", "string", "the file stem", "any",
+                   "Scenario label used for output files (not sweepable)"});
+    for (const KeySpec& spec : key_specs()) out.push_back(spec.info);
+    return out;
+  }();
+  return keys;
+}
+
+RawScenario parse_scenario_text(std::string_view text,
+                                const std::string& name) {
+  RawScenario raw;
+  raw.name = name;
+  bool name_set = false;
+  std::size_t line_no = 0;
+  std::size_t pos = 0;
+  while (pos <= text.size()) {
+    const std::size_t eol = text.find('\n', pos);
+    std::string_view line = text.substr(
+        pos, eol == std::string_view::npos ? text.size() - pos : eol - pos);
+    pos = eol == std::string_view::npos ? text.size() + 1 : eol + 1;
+    ++line_no;
+    const std::string where = "line " + std::to_string(line_no);
+
+    // Strip comments ('#' or ';' to end of line), then whitespace.
+    const std::size_t comment = line.find_first_of("#;");
+    if (comment != std::string_view::npos) line = line.substr(0, comment);
+    line = trim(line);
+    if (line.empty()) continue;
+    if (line.front() == '[') {
+      fail(where, "sections are not supported (flat `key = value` only)");
+    }
+    const std::size_t eq = line.find('=');
+    if (eq == std::string_view::npos) {
+      fail(where, "expected `key = value`");
+    }
+    const std::string key(trim(line.substr(0, eq)));
+    if (key.empty()) fail(where, "empty key before '='");
+    for (const auto& [existing, values] : raw.entries) {
+      (void)values;
+      if (existing == key) {
+        fail(where, "duplicate key \"" + key + "\" (each key appears once; "
+                    "use a comma-separated sweep list for multiple values)");
+      }
+    }
+
+    std::vector<std::string> values =
+        split_sweep(where, key, line.substr(eq + 1));
+
+    if (key == "name") {
+      if (values.size() != 1) fail("name", "is not sweepable");
+      if (name_set) fail(where, "duplicate key \"name\"");
+      raw.name = values[0];
+      name_set = true;
+      continue;
+    }
+    raw.entries.emplace_back(key, std::move(values));
+  }
+  return raw;
+}
+
+RawScenario load_scenario_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw ScenarioError(path + ": cannot open scenario file");
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  // Default name: file stem ("scenarios/fig5_convergence.scenario" ->
+  // "fig5_convergence"), overridable by a `name =` line.
+  std::string stem = path;
+  if (const auto slash = stem.find_last_of("/\\"); slash != std::string::npos) {
+    stem = stem.substr(slash + 1);
+  }
+  if (const auto dot = stem.rfind('.'); dot != std::string::npos && dot > 0) {
+    stem = stem.substr(0, dot);
+  }
+  return parse_scenario_text(buffer.str(), stem);
+}
+
+void set_value(RawScenario& raw, const std::string& key,
+               const std::string& value) {
+  std::vector<std::string> values = split_sweep(key, key, value);
+  if (key == "name") {
+    if (values.size() != 1) fail("name", "is not sweepable");
+    raw.name = values[0];
+    return;
+  }
+  for (auto& [existing, existing_values] : raw.entries) {
+    if (existing == key) {
+      existing_values = std::move(values);
+      return;
+    }
+  }
+  raw.entries.emplace_back(key, std::move(values));
+}
+
+std::size_t auto_degree(std::size_t nodes) {
+  if (nodes >= 384) return 6;
+  if (nodes >= 192) return 5;
+  if (nodes >= 16) return 4;
+  return 3;
+}
+
+std::size_t effective_degree(const ScenarioRun& run) {
+  if (run.topology_degree != 0) return run.topology_degree;
+  return run.topology == "ring" ? 2 : auto_degree(run.nodes);
+}
+
+std::size_t torus_rows(std::size_t nodes) {
+  std::size_t rows = 0;
+  for (std::size_t r = 2; r * r <= nodes; ++r) {
+    if (nodes % r == 0) rows = r;
+  }
+  return rows;
+}
+
+std::vector<ScenarioRun> expand_grid(const RawScenario& raw) {
+  // Resolve every key up front so "unknown key" fires even for grids of one.
+  std::vector<const KeySpec*> specs;
+  specs.reserve(raw.entries.size());
+  std::size_t total = 1;
+  for (const auto& [key, values] : raw.entries) {
+    const KeySpec* spec = find_key(key);
+    if (spec == nullptr) {
+      fail(key, "unknown key (see docs/EXPERIMENTS.md or "
+                "`jwins_run --list-keys`)");
+    }
+    specs.push_back(spec);
+    total *= values.size();
+    if (total > 4096) fail("sweep", "grid expands past the 4096-run cap");
+  }
+
+  std::vector<ScenarioRun> runs;
+  runs.reserve(total);
+  for (std::size_t index = 0; index < total; ++index) {
+    ScenarioRun run;
+    run.scenario = raw.name;
+    run.index = index;
+    run.config.threads = 0;  // scenario default: all hardware threads
+
+    // Odometer order: the last-listed sweep key varies fastest.
+    std::size_t rem = index;
+    std::vector<std::size_t> choice(raw.entries.size(), 0);
+    for (std::size_t k = raw.entries.size(); k-- > 0;) {
+      const std::size_t radix = raw.entries[k].second.size();
+      choice[k] = rem % radix;
+      rem /= radix;
+    }
+
+    std::string label;
+    for (std::size_t k = 0; k < raw.entries.size(); ++k) {
+      const auto& [key, values] = raw.entries[k];
+      const std::string& value = values[choice[k]];
+      specs[k]->apply(run, value);
+      if (values.size() > 1) {
+        if (!label.empty()) label += ',';
+        label += key + "=" + value;
+      }
+    }
+    run.label = label.empty() ? "run" : label;
+    validate_cross_field(run);
+    runs.push_back(std::move(run));
+  }
+  return runs;
+}
+
+}  // namespace jwins::config

@@ -206,6 +206,18 @@ Graph complete(std::size_t n) {
   return g;
 }
 
+Graph torus(std::size_t rows, std::size_t cols) {
+  Graph g(rows * cols);
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      const std::size_t u = r * cols + c;
+      g.add_edge(u, ((r + 1) % rows) * cols + c);
+      g.add_edge(u, r * cols + (c + 1) % cols);
+    }
+  }
+  return g;
+}
+
 Graph erdos_renyi(std::size_t n, double p, std::mt19937& rng) {
   constexpr int kMaxAttempts = 200;
   std::bernoulli_distribution coin(p);
@@ -242,11 +254,13 @@ MixingWeights metropolis_hastings(const Graph& g) {
 }
 
 const Graph& DynamicRegularTopology::round_graph(std::size_t t) {
-  if (t != cached_round_) {
-    // Seed deterministically per round so all nodes (and reruns) agree.
-    std::mt19937 rng(static_cast<std::uint32_t>(seed_ ^ (0x9E3779B97F4A7C15ull * (t + 1))));
+  const std::size_t epoch = t / rewire_every_;
+  if (epoch != cached_epoch_) {
+    // Seed deterministically per epoch so all nodes (and reruns) agree.
+    std::mt19937 rng(static_cast<std::uint32_t>(
+        seed_ ^ (0x9E3779B97F4A7C15ull * (epoch + 1))));
     cached_ = random_regular(n_, d_, rng);
-    cached_round_ = t;
+    cached_epoch_ = epoch;
   }
   return cached_;
 }

@@ -56,6 +56,11 @@ Graph ring(std::size_t n, std::size_t k = 1);
 /// for tests and small-scale comparisons).
 Graph complete(std::size_t n);
 
+/// 2-D torus (wraparound grid): node (r, c) connects to its four lattice
+/// neighbors modulo the grid dimensions. 4-regular for rows, cols >= 3;
+/// degenerate dimensions collapse to a ring (duplicate edges are ignored).
+Graph torus(std::size_t rows, std::size_t cols);
+
 /// Erdos-Renyi G(n, p), retried until connected (p must be large enough).
 Graph erdos_renyi(std::size_t n, double p, std::mt19937& rng);
 
@@ -90,15 +95,20 @@ class StaticTopology final : public TopologyProvider {
 
 class DynamicRegularTopology final : public TopologyProvider {
  public:
-  DynamicRegularTopology(std::size_t n, std::size_t d, std::uint64_t seed)
-      : n_(n), d_(d), seed_(seed) {}
+  /// `rewire_every` is the churn period: a fresh random d-regular graph is
+  /// drawn every that many rounds (1 = every round, the Figure 7 setting).
+  DynamicRegularTopology(std::size_t n, std::size_t d, std::uint64_t seed,
+                         std::size_t rewire_every = 1)
+      : n_(n), d_(d), seed_(seed),
+        rewire_every_(rewire_every == 0 ? 1 : rewire_every) {}
   const Graph& round_graph(std::size_t t) override;
 
  private:
   std::size_t n_;
   std::size_t d_;
   std::uint64_t seed_;
-  std::size_t cached_round_ = static_cast<std::size_t>(-1);
+  std::size_t rewire_every_;
+  std::size_t cached_epoch_ = static_cast<std::size_t>(-1);
   Graph cached_;
 };
 

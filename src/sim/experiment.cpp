@@ -1,11 +1,13 @@
 #include "sim/experiment.hpp"
 
 #include <chrono>
+#include <cmath>
 #include <stdexcept>
 #include <utility>
 
 #include "core/rng.hpp"
 #include "data/dataset.hpp"
+#include "dwt/wavelet.hpp"
 
 namespace jwins::sim {
 
@@ -37,6 +39,52 @@ void timed_phase(double& slot, Fn&& fn) {
 
 }  // namespace
 
+std::vector<std::string> ExperimentConfig::validate() const {
+  std::vector<std::string> errors;
+  auto require = [&](bool ok, const char* message) {
+    if (!ok) errors.emplace_back(message);
+  };
+  require(rounds >= 1, "rounds: must be >= 1");
+  require(local_steps >= 1, "local_steps: must be >= 1");
+  require(std::isfinite(sgd.learning_rate) && sgd.learning_rate > 0.0f,
+          "learning_rate: must be > 0");
+  require(sgd.momentum >= 0.0f && sgd.momentum < 1.0f,
+          "momentum: must be in [0, 1)");
+  require(sgd.weight_decay >= 0.0f, "weight_decay: must be >= 0");
+  require(target_accuracy <= 1.0,
+          "target_accuracy: must be <= 1 (a fraction, not a percentage)");
+  require(lr_decay_factor > 0.0 && lr_decay_factor <= 1.0,
+          "lr_decay_factor: must be in (0, 1]");
+  require(message_drop_probability >= 0.0 && message_drop_probability < 1.0,
+          "message_drop_probability: must be in [0, 1)");
+  require(eval_every >= 1,
+          "eval_every: must be >= 1 (0 would divide by zero in the round loop)");
+  require(eval_sample_limit >= 1, "eval_sample_limit: must be >= 1");
+  require(compute_seconds_per_round >= 0.0,
+          "compute_seconds_per_round: must be >= 0");
+  require(link.bandwidth_bytes_per_sec > 0.0, "bandwidth: must be > 0");
+  require(link.latency_sec >= 0.0, "latency: must be >= 0");
+  require(random_sampling_fraction > 0.0 && random_sampling_fraction <= 1.0,
+          "random_sampling_fraction: must be in (0, 1]");
+  if (jwins.ranker.use_wavelet) {
+    require(jwins.ranker.levels >= 1, "jwins_levels: must be >= 1");
+    try {
+      dwt::wavelet_by_name(jwins.ranker.wavelet);
+    } catch (const std::exception&) {
+      errors.push_back("jwins_wavelet: unknown wavelet \"" +
+                       jwins.ranker.wavelet +
+                       "\" (valid: haar, db2, sym2, db4)");
+    }
+  }
+  require(choco.gamma > 0.0 && choco.gamma <= 1.0,
+          "choco_gamma: must be in (0, 1]");
+  require(choco.fraction > 0.0 && choco.fraction <= 1.0,
+          "choco_fraction: must be in (0, 1]");
+  require(choco.qsgd_levels >= 1, "choco_qsgd_levels: must be >= 1");
+  require(power_gossip.gamma > 0.0, "power_gossip_gamma: must be > 0");
+  return errors;
+}
+
 Experiment::Experiment(ExperimentConfig config, nn::ModelFactory factory,
                        const data::Dataset& train, data::Partition partition,
                        const data::Dataset& test,
@@ -48,6 +96,11 @@ Experiment::Experiment(ExperimentConfig config, nn::ModelFactory factory,
       pool_(config_.threads) {
   const std::size_t n = partition.size();
   if (n == 0) throw std::invalid_argument("Experiment: empty partition");
+  if (const auto errors = config_.validate(); !errors.empty()) {
+    std::string joined = "Experiment: invalid config";
+    for (const std::string& e : errors) joined += "\n  " + e;
+    throw std::invalid_argument(joined);
+  }
   nodes_.reserve(n);
   algo::TrainConfig train_config{config_.local_steps, config_.sgd,
                                  config_.seed};

@@ -19,6 +19,7 @@
 #include <cstdint>
 #include <memory>
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "algo/choco.hpp"
@@ -87,6 +88,12 @@ struct ExperimentConfig {
   algo::JwinsNode::Options jwins;
   algo::ChocoNode::Options choco;
   algo::PowerGossipNode::Options power_gossip;
+
+  /// Cross-field sanity checks. Returns one "<field>: <why>" message per
+  /// violation (empty = valid). Experiment's constructor throws on any
+  /// violation; config::expand_grid and the jwins_run CLI report them as
+  /// `error: <key>: <why>` diagnostics before anything runs.
+  std::vector<std::string> validate() const;
 };
 
 struct MetricPoint {

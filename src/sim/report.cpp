@@ -1,5 +1,7 @@
 #include "sim/report.hpp"
 
+#include <cmath>
+#include <cstdio>
 #include <iomanip>
 #include <ostream>
 #include <sstream>
@@ -54,6 +56,80 @@ void print_summary_row(std::ostream& os, const std::string& dataset,
      << result.final_loss << "  rounds=" << result.rounds_run
      << "  data/node=" << format_bytes(avg_bytes)
      << "  sim-time=" << format_seconds(result.sim_seconds) << "\n";
+}
+
+std::string json_number(double v) {
+  if (!std::isfinite(v)) return "null";
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  return buf;
+}
+
+std::string json_string(const std::string& s) {
+  std::string out = "\"";
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+  return out;
+}
+
+void write_result_json(std::ostream& os, const std::string& label,
+                       const ExperimentResult& result, bool include_wall) {
+  os << "{\n";
+  os << "  \"label\": " << json_string(label) << ",\n";
+  os << "  \"rounds_run\": " << result.rounds_run << ",\n";
+  os << "  \"sim_seconds\": " << json_number(result.sim_seconds) << ",\n";
+  os << "  \"final_accuracy\": " << json_number(result.final_accuracy) << ",\n";
+  os << "  \"final_loss\": " << json_number(result.final_loss) << ",\n";
+  os << "  \"reached_target\": " << (result.reached_target ? "true" : "false")
+     << ",\n";
+  os << "  \"mean_alpha\": " << json_number(result.mean_alpha) << ",\n";
+  const net::NodeTraffic& t = result.total_traffic;
+  os << "  \"traffic\": {\n";
+  os << "    \"messages_sent\": " << t.messages_sent << ",\n";
+  os << "    \"bytes_sent\": " << t.bytes_sent << ",\n";
+  os << "    \"payload_bytes_sent\": " << t.payload_bytes_sent << ",\n";
+  os << "    \"metadata_bytes_sent\": " << t.metadata_bytes_sent << "\n";
+  os << "  },\n";
+  if (include_wall) {
+    const PhaseTimings& w = result.wall;
+    os << "  \"wall_seconds\": {\n";
+    os << "    \"train\": " << json_number(w.train_seconds) << ",\n";
+    os << "    \"share\": " << json_number(w.share_seconds) << ",\n";
+    os << "    \"aggregate\": " << json_number(w.aggregate_seconds) << ",\n";
+    os << "    \"evaluate\": " << json_number(w.evaluate_seconds) << ",\n";
+    os << "    \"total\": " << json_number(w.total_seconds) << "\n";
+    os << "  },\n";
+  }
+  os << "  \"series\": [";
+  for (std::size_t i = 0; i < result.series.size(); ++i) {
+    const MetricPoint& p = result.series[i];
+    os << (i == 0 ? "\n" : ",\n");
+    os << "    {\"round\": " << p.round
+       << ", \"sim_seconds\": " << json_number(p.sim_seconds)
+       << ", \"test_accuracy\": " << json_number(p.test_accuracy)
+       << ", \"test_loss\": " << json_number(p.test_loss)
+       << ", \"train_loss\": " << json_number(p.train_loss)
+       << ", \"avg_bytes_per_node\": " << json_number(p.avg_bytes_per_node)
+       << ", \"avg_metadata_bytes_per_node\": "
+       << json_number(p.avg_metadata_bytes_per_node) << "}";
+  }
+  os << (result.series.empty() ? "]\n" : "\n  ]\n");
+  os << "}\n";
 }
 
 }  // namespace jwins::sim

@@ -24,4 +24,22 @@ void print_summary_row(std::ostream& os, const std::string& dataset,
                        const std::string& algorithm,
                        const ExperimentResult& result);
 
+/// Round-trip-exact, locale-independent JSON number (%.17g). Non-finite
+/// values have no JSON representation and become null.
+std::string json_number(double v);
+
+/// JSON string literal with quote/backslash/control-character escaping.
+std::string json_string(const std::string& s);
+
+/// Machine-readable result for downstream plotting (the jwins_run CLI's
+/// output format): the full metric series, per-phase host wall-clock, and
+/// the payload/metadata traffic split. The output is deterministic — the
+/// same ExperimentResult always produces the same bytes (doubles are
+/// emitted round-trip exactly via %.17g) — EXCEPT the "wall_seconds" block,
+/// which measures this host; pass include_wall = false when comparing JSON
+/// across runs (the determinism tests do).
+void write_result_json(std::ostream& os, const std::string& label,
+                       const ExperimentResult& result,
+                       bool include_wall = true);
+
 }  // namespace jwins::sim

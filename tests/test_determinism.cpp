@@ -8,9 +8,11 @@
 #include <gtest/gtest.h>
 
 #include <random>
+#include <sstream>
 
 #include "graph/graph.hpp"
 #include "sim/experiment.hpp"
+#include "sim/report.hpp"
 #include "sim/workloads.hpp"
 
 namespace jwins {
@@ -125,6 +127,56 @@ TEST(DeterminismAcrossSeeds, SeedChangesTheTrajectory) {
   const auto pg_a = run_with_seed(sim::Algorithm::kPowerGossip, 1);
   const auto pg_b = run_with_seed(sim::Algorithm::kPowerGossip, 2);
   EXPECT_NE(pg_a.final_loss, pg_b.final_loss);
+}
+
+// --- JSON report emitter --------------------------------------------------
+
+TEST(JsonReport, SchemaShapeCoversSeriesTrafficAndWall) {
+  const auto result = run_scenario({"jwins", sim::Algorithm::kJwins}, 1);
+  std::ostringstream os;
+  sim::write_result_json(os, "determinism/jwins", result);
+  const std::string json = os.str();
+
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.substr(json.size() - 2), "}\n");
+  for (const char* key :
+       {"\"label\"", "\"rounds_run\"", "\"sim_seconds\"", "\"final_accuracy\"",
+        "\"final_loss\"", "\"reached_target\"", "\"mean_alpha\"",
+        "\"traffic\"", "\"messages_sent\"", "\"bytes_sent\"",
+        "\"payload_bytes_sent\"", "\"metadata_bytes_sent\"",
+        "\"wall_seconds\"", "\"train\"", "\"share\"", "\"aggregate\"",
+        "\"evaluate\"", "\"total\"", "\"series\"", "\"round\"",
+        "\"test_accuracy\"", "\"test_loss\"", "\"train_loss\"",
+        "\"avg_bytes_per_node\"", "\"avg_metadata_bytes_per_node\""}) {
+    EXPECT_NE(json.find(key), std::string::npos) << key;
+  }
+  // One series object per metric point.
+  std::size_t rounds_seen = 0;
+  for (std::size_t pos = json.find("\"round\":"); pos != std::string::npos;
+       pos = json.find("\"round\":", pos + 1)) {
+    ++rounds_seen;
+  }
+  EXPECT_EQ(rounds_seen, result.series.size());
+  // Host wall timings are excludable (they are the one nondeterministic
+  // block).
+  std::ostringstream no_wall;
+  sim::write_result_json(no_wall, "determinism/jwins", result,
+                         /*include_wall=*/false);
+  EXPECT_EQ(no_wall.str().find("wall_seconds"), std::string::npos);
+}
+
+TEST(JsonReport, BitIdenticalAcrossThreadCounts) {
+  // The CLI's JSON output is part of the determinism contract: modulo the
+  // wall_seconds block, threads=1 and threads=N must emit identical bytes.
+  const Scenario s{"jwins", sim::Algorithm::kJwins};
+  const auto sequential = run_scenario(s, 1);
+  const auto threaded = run_scenario(s, 4);
+  std::ostringstream a, b;
+  sim::write_result_json(a, "determinism/jwins", sequential,
+                         /*include_wall=*/false);
+  sim::write_result_json(b, "determinism/jwins", threaded,
+                         /*include_wall=*/false);
+  EXPECT_EQ(a.str(), b.str());
 }
 
 TEST(Determinism, WallTimingsArePopulated) {

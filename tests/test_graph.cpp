@@ -191,5 +191,43 @@ TEST(DynamicTopology, ChangesAcrossRoundsDeterministically) {
   EXPECT_TRUE(c.connected());
 }
 
+TEST(Torus, FourRegularAndConnected) {
+  const Graph g = torus(4, 5);
+  EXPECT_EQ(g.size(), 20u);
+  EXPECT_TRUE(g.is_regular(4));
+  EXPECT_TRUE(g.connected());
+  // (r, c) must reach its four lattice neighbors, wrapping around.
+  EXPECT_TRUE(g.has_edge(0, 1));        // (0,0)-(0,1)
+  EXPECT_TRUE(g.has_edge(0, 4));        // (0,0)-(0,4): column wrap
+  EXPECT_TRUE(g.has_edge(0, 5));        // (0,0)-(1,0)
+  EXPECT_TRUE(g.has_edge(0, 15));       // (0,0)-(3,0): row wrap
+  EXPECT_FALSE(g.has_edge(0, 6));       // no diagonals
+}
+
+TEST(Torus, DegenerateDimensionCollapsesToRing) {
+  // rows = 1: the vertical edges are self-loops/duplicates and are dropped.
+  const Graph g = torus(1, 6);
+  EXPECT_TRUE(g.is_regular(2));
+  EXPECT_TRUE(g.connected());
+}
+
+TEST(DynamicTopology, ChurnPeriodHoldsTheGraphBetweenRewires) {
+  DynamicRegularTopology topo(10, 4, /*seed=*/7, /*rewire_every=*/3);
+  auto adjacency = [](const Graph& g) {
+    std::vector<std::vector<std::size_t>> adj;
+    for (std::size_t u = 0; u < g.size(); ++u) adj.push_back(g.neighbors(u));
+    return adj;
+  };
+  const auto epoch0 = adjacency(topo.round_graph(0));
+  EXPECT_EQ(adjacency(topo.round_graph(1)), epoch0);
+  EXPECT_EQ(adjacency(topo.round_graph(2)), epoch0);
+  EXPECT_NE(adjacency(topo.round_graph(3)), epoch0);
+  // A period-3 provider at epoch k draws the same graph as a period-1
+  // provider at round k: the seed stream is keyed on the epoch index.
+  DynamicRegularTopology every_round(10, 4, /*seed=*/7);
+  EXPECT_EQ(adjacency(every_round.round_graph(1)),
+            adjacency(topo.round_graph(5)));
+}
+
 }  // namespace
 }  // namespace jwins::graph
