@@ -5,6 +5,7 @@
 
 #include "compress/quantize.hpp"
 #include "compress/topk.hpp"
+#include "net/serializer.hpp"
 
 namespace jwins::algo {
 
@@ -24,10 +25,12 @@ ChocoNode::ChocoNode(std::uint32_t rank,
 
 void ChocoNode::share(net::Network& network, const graph::Graph& g,
                       const graph::MixingWeights& /*weights*/,
-                      std::uint32_t round) {
-  const std::vector<float> x = flat_params();
-  const std::size_t n = x.size();
-  std::vector<float> diff(n);
+                      std::uint32_t round, core::RoundScratch& scratch) {
+  scratch.reset();
+  const std::size_t n = param_count();
+  const std::span<float> x = scratch.arena.alloc<float>(n);
+  flat_params_into(x);
+  const std::span<float> diff = scratch.arena.alloc<float>(n);
   for (std::size_t i = 0; i < n; ++i) diff[i] = x[i] - x_hat_[i];
 
   net::Message msg;
@@ -35,28 +38,31 @@ void ChocoNode::share(net::Network& network, const graph::Graph& g,
     // Dense stochastic quantization: the node must apply the *same* lossy
     // values it broadcast, so own_values_ holds the dequantized vector.
     core::CounterRng rng = round_rng(round);
-    const compress::QuantizedVector q =
-        compress::qsgd_quantize(diff, options_.qsgd_levels, rng);
+    compress::qsgd_quantize_into(diff, options_.qsgd_levels, rng,
+                                 scratch.quantized);
     own_indices_.clear();  // dense
-    own_values_ = compress::qsgd_dequantize(q);
+    compress::qsgd_dequantize_into(scratch.quantized, own_values_);
+    net::ByteWriter writer(network.pool().acquire());
+    compress::qsgd_serialize_into(scratch.quantized, writer);
     msg.sender = rank();
     msg.round = round;
-    msg.body = compress::qsgd_serialize(q);
+    msg.body = network.pool().adopt(std::move(writer).take());
     msg.metadata_bytes = 12;  // norm + levels + count header
   } else {
     const std::size_t k = std::max<std::size_t>(
         1, static_cast<std::size_t>(options_.fraction * static_cast<double>(n) + 0.5));
-    own_indices_ = compress::topk_indices(diff, k);
-    own_values_ = compress::gather(diff, own_indices_);
+    compress::topk_indices_into(diff, k, own_indices_);
+    compress::gather_into(diff, own_indices_, own_values_);
 
-    core::SparsePayload payload;
+    core::PayloadView payload;
     payload.vector_length = static_cast<std::uint32_t>(n);
     payload.indices = own_indices_;
     payload.values = own_values_;
     core::PayloadOptions msg_options;
     msg_options.index_encoding = options_.index_encoding;
     msg_options.value_encoding = options_.value_encoding;
-    msg = core::make_message(rank(), round, payload, msg_options);
+    msg = core::make_message(rank(), round, payload, msg_options,
+                             network.pool(), scratch.bits);
   }
   for (std::size_t j : g.neighbors(rank())) {
     network.send(static_cast<std::uint32_t>(j), msg);
@@ -65,9 +71,11 @@ void ChocoNode::share(net::Network& network, const graph::Graph& g,
 
 void ChocoNode::aggregate(net::Network& network, const graph::Graph& g,
                           const graph::MixingWeights& weights,
-                          std::uint32_t round) {
+                          std::uint32_t round, core::RoundScratch& scratch) {
   (void)round;
-  const std::vector<net::Message> inbox = network.drain(rank());
+  scratch.reset();
+  network.drain_into(rank(), scratch.inbox);
+  const std::vector<net::Message>& inbox = scratch.inbox;
   const double w_self = weights.self_weight[rank()];
   // x̂_i += q_i and s += w_ii * q_i (own contribution).
   if (own_indices_.empty() && !own_values_.empty()) {  // dense (qsgd)
@@ -86,16 +94,19 @@ void ChocoNode::aggregate(net::Network& network, const graph::Graph& g,
   for (const net::Message& msg : inbox) {
     const double w = weight_of(g, weights, rank(), msg.sender);
     if (options_.compressor == Compressor::kQsgd) {
-      const auto q = compress::qsgd_deserialize(msg.body);
-      const std::vector<float> values = compress::qsgd_dequantize(q);
-      if (values.size() != s_.size()) {
+      // Zero-copy: the packed bitstream is read in place from the
+      // refcounted body, never materialized into scratch.
+      const compress::QuantizedView q = compress::qsgd_view(msg.body);
+      compress::qsgd_dequantize_into(q, scratch.floats);
+      if (scratch.floats.size() != s_.size()) {
         throw std::out_of_range("ChocoNode: quantized vector length mismatch");
       }
-      for (std::size_t i = 0; i < values.size(); ++i) {
-        s_[i] += static_cast<float>(w * values[i]);
+      for (std::size_t i = 0; i < scratch.floats.size(); ++i) {
+        s_[i] += static_cast<float>(w * scratch.floats[i]);
       }
     } else {
-      const core::SparsePayload payload = core::decode_payload(msg.body);
+      core::SparsePayload& payload = scratch.payloads.next();
+      core::decode_payload_into(msg.body, payload, scratch.arena);
       for (std::size_t i = 0; i < payload.indices.size(); ++i) {
         const std::uint32_t idx = payload.indices[i];
         if (idx >= s_.size()) {
@@ -106,7 +117,8 @@ void ChocoNode::aggregate(net::Network& network, const graph::Graph& g,
     }
   }
   // Consensus step: x += γ (s - x̂) where s - x̂ = Σ_j w_ij (x̂_j - x̂_i).
-  std::vector<float> x = flat_params();
+  const std::span<float> x = scratch.arena.alloc<float>(param_count());
+  flat_params_into(x);
   const float gamma = static_cast<float>(options_.gamma);
   for (std::size_t i = 0; i < x.size(); ++i) {
     x[i] += gamma * (s_[i] - x_hat_[i]);

@@ -36,9 +36,11 @@ class ChocoNode final : public DlNode {
             data::Sampler sampler, TrainConfig config, Options options);
 
   void share(net::Network& network, const graph::Graph& g,
-             const graph::MixingWeights& weights, std::uint32_t round) override;
+             const graph::MixingWeights& weights, std::uint32_t round,
+             core::RoundScratch& scratch) override;
   void aggregate(net::Network& network, const graph::Graph& g,
-                 const graph::MixingWeights& weights, std::uint32_t round) override;
+                 const graph::MixingWeights& weights, std::uint32_t round,
+                 core::RoundScratch& scratch) override;
 
  private:
   Options options_;

@@ -13,14 +13,18 @@ FullSharingNode::FullSharingNode(std::uint32_t rank,
 
 void FullSharingNode::share(net::Network& network, const graph::Graph& g,
                             const graph::MixingWeights& /*weights*/,
-                            std::uint32_t round) {
-  core::SparsePayload payload;
-  payload.values = flat_params();
-  payload.vector_length = static_cast<std::uint32_t>(payload.values.size());
+                            std::uint32_t round, core::RoundScratch& scratch) {
+  scratch.reset();
+  const std::span<float> x = scratch.arena.alloc<float>(param_count());
+  flat_params_into(x);
+  core::PayloadView payload;
+  payload.vector_length = static_cast<std::uint32_t>(x.size());
+  payload.values = x;
   core::PayloadOptions options;
   options.index_encoding = core::IndexEncoding::kDense;
   options.value_encoding = value_encoding_;
-  const net::Message msg = core::make_message(rank(), round, payload, options);
+  const net::Message msg = core::make_message(
+      rank(), round, payload, options, network.pool(), scratch.bits);
   for (std::size_t j : g.neighbors(rank())) {
     network.send(static_cast<std::uint32_t>(j), msg);
   }
@@ -28,20 +32,24 @@ void FullSharingNode::share(net::Network& network, const graph::Graph& g,
 
 void FullSharingNode::aggregate(net::Network& network, const graph::Graph& g,
                                 const graph::MixingWeights& weights,
-                                std::uint32_t round) {
+                                std::uint32_t round,
+                                core::RoundScratch& scratch) {
   (void)round;
-  const std::vector<net::Message> inbox = network.drain(rank());
-  std::vector<core::SparsePayload> payloads;
-  payloads.reserve(inbox.size());
-  std::vector<core::WeightedContribution> contributions;
-  contributions.reserve(inbox.size());
+  scratch.reset();
+  network.drain_into(rank(), scratch.inbox);
+  const std::vector<net::Message>& inbox = scratch.inbox;
   for (const net::Message& msg : inbox) {
-    payloads.push_back(core::decode_payload(msg.body));
-    contributions.push_back(
-        {weight_of(g, weights, rank(), msg.sender), &payloads.back()});
+    core::decode_payload_into(msg.body, scratch.payloads.next(), scratch.arena);
   }
-  std::vector<float> x = flat_params();
-  core::partial_average(x, weights.self_weight[rank()], contributions);
+  // Pool references are stable once all payloads are decoded.
+  for (std::size_t i = 0; i < inbox.size(); ++i) {
+    scratch.contributions.push_back(
+        {weight_of(g, weights, rank(), inbox[i].sender), &scratch.payloads[i]});
+  }
+  const std::span<float> x = scratch.arena.alloc<float>(param_count());
+  flat_params_into(x);
+  core::partial_average(x, weights.self_weight[rank()], scratch.contributions,
+                        scratch.arena);
   set_flat_params(x);
 }
 

@@ -15,9 +15,11 @@ class FullSharingNode final : public DlNode {
                   core::ValueEncoding value_encoding = core::ValueEncoding::kXorCodec);
 
   void share(net::Network& network, const graph::Graph& g,
-             const graph::MixingWeights& weights, std::uint32_t round) override;
+             const graph::MixingWeights& weights, std::uint32_t round,
+             core::RoundScratch& scratch) override;
   void aggregate(net::Network& network, const graph::Graph& g,
-                 const graph::MixingWeights& weights, std::uint32_t round) override;
+                 const graph::MixingWeights& weights, std::uint32_t round,
+                 core::RoundScratch& scratch) override;
 
  private:
   core::ValueEncoding value_encoding_;

@@ -20,19 +20,21 @@ JwinsNode::JwinsNode(std::uint32_t rank,
 
 void JwinsNode::share(net::Network& network, const graph::Graph& g,
                       const graph::MixingWeights& /*weights*/,
-                      std::uint32_t round) {
-  x_tau_ = flat_params();
+                      std::uint32_t round, core::RoundScratch& scratch) {
+  scratch.reset();
+  flat_params_into(x_tau_);
   // Eq. (3): V' = V + T(x^{t,tau} - x^{t,0}).
-  const std::span<const float> scores =
-      ranker_.accumulate_round_change(x0_, x_tau_);
+  const std::span<const float> scores = ranker_.accumulate_round_change(
+      x0_, x_tau_, scratch.arena, scratch.dwt);
   // Randomized cut-off picks this round's sharing fraction independently;
   // the draw is keyed on (seed, rank, round), not on engine call history.
   core::CounterRng rng = round_rng(round);
   last_alpha_ = options_.cutoff.sample(rng);
   const std::size_t coeff_len = ranker_.coeff_length();
-  own_coeffs_ = ranker_.transform(x_tau_);
+  own_coeffs_.resize(coeff_len);
+  ranker_.transform_into(x_tau_, own_coeffs_, scratch.dwt);
 
-  core::SparsePayload payload;
+  core::PayloadView payload;
   payload.vector_length = static_cast<std::uint32_t>(coeff_len);
   core::PayloadOptions msg_options;
   msg_options.value_encoding = options_.value_encoding;
@@ -46,15 +48,20 @@ void JwinsNode::share(net::Network& network, const graph::Graph& g,
     sent_dense_ = false;
     const std::size_t k = std::max<std::size_t>(
         1, static_cast<std::size_t>(last_alpha_ * static_cast<double>(coeff_len) + 0.5));
-    sent_indices_ = compress::topk_indices(scores, k);
+    compress::topk_indices_into(scores, k, sent_indices_);
     for (std::uint32_t idx : sent_indices_) {
       ++band_share_counts_[ranker_.band_of(idx)];
     }
+    const std::span<float> values =
+        scratch.arena.alloc<float>(sent_indices_.size());
+    compress::gather_into(own_coeffs_, sent_indices_, values);
     payload.indices = sent_indices_;
-    payload.values = compress::gather(own_coeffs_, sent_indices_);
+    payload.values = values;
     msg_options.index_encoding = options_.index_encoding;
   }
-  const net::Message msg = core::make_message(rank(), round, payload, msg_options);
+  // One refcounted, pool-recycled body shared by every neighbor.
+  const net::Message msg = core::make_message(
+      rank(), round, payload, msg_options, network.pool(), scratch.bits);
   for (std::size_t j : g.neighbors(rank())) {
     network.send(static_cast<std::uint32_t>(j), msg);
   }
@@ -62,32 +69,37 @@ void JwinsNode::share(net::Network& network, const graph::Graph& g,
 
 void JwinsNode::aggregate(net::Network& network, const graph::Graph& g,
                           const graph::MixingWeights& weights,
-                          std::uint32_t round) {
+                          std::uint32_t round, core::RoundScratch& scratch) {
   (void)round;
-  const std::vector<net::Message> inbox = network.drain(rank());
-  std::vector<core::SparsePayload> payloads;
-  payloads.reserve(inbox.size());
-  std::vector<core::WeightedContribution> contributions;
-  contributions.reserve(inbox.size());
+  scratch.reset();
+  network.drain_into(rank(), scratch.inbox);
+  const std::vector<net::Message>& inbox = scratch.inbox;
   for (const net::Message& msg : inbox) {
-    payloads.push_back(core::decode_payload(msg.body));
-    contributions.push_back(
-        {weight_of(g, weights, rank(), msg.sender), &payloads.back()});
+    core::decode_payload_into(msg.body, scratch.payloads.next(), scratch.arena);
+  }
+  // Pool references are stable once all payloads are decoded.
+  for (std::size_t i = 0; i < inbox.size(); ++i) {
+    scratch.contributions.push_back(
+        {weight_of(g, weights, rank(), inbox[i].sender), &scratch.payloads[i]});
   }
   // Algorithm 1, line 10: average received wavelet coefficients with our own.
-  core::partial_average(own_coeffs_, weights.self_weight[rank()], contributions);
+  core::partial_average(own_coeffs_, weights.self_weight[rank()],
+                        scratch.contributions, scratch.arena);
   // Line 11: invert back to the parameter domain.
-  const std::vector<float> x_next = ranker_.inverse(own_coeffs_);
+  const std::span<float> x_next = scratch.arena.alloc<float>(param_count());
+  ranker_.inverse_into(own_coeffs_, x_next, scratch.dwt);
   set_flat_params(x_next);
   // Line 12 / eq. (4): fold in the averaging change, reset shared entries.
   if (sent_dense_) {
-    std::vector<std::uint32_t> all(ranker_.coeff_length());
+    const std::span<std::uint32_t> all =
+        scratch.arena.alloc<std::uint32_t>(ranker_.coeff_length());
     std::iota(all.begin(), all.end(), 0u);
-    ranker_.finish_round(x_tau_, x_next, all);
+    ranker_.finish_round(x_tau_, x_next, all, scratch.arena, scratch.dwt);
   } else {
-    ranker_.finish_round(x_tau_, x_next, sent_indices_);
+    ranker_.finish_round(x_tau_, x_next, sent_indices_, scratch.arena,
+                         scratch.dwt);
   }
-  x0_ = x_next;
+  x0_.assign(x_next.begin(), x_next.end());
 }
 
 }  // namespace jwins::algo

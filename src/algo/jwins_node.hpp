@@ -28,9 +28,11 @@ class JwinsNode final : public DlNode {
             data::Sampler sampler, TrainConfig config, Options options);
 
   void share(net::Network& network, const graph::Graph& g,
-             const graph::MixingWeights& weights, std::uint32_t round) override;
+             const graph::MixingWeights& weights, std::uint32_t round,
+             core::RoundScratch& scratch) override;
   void aggregate(net::Network& network, const graph::Graph& g,
-                 const graph::MixingWeights& weights, std::uint32_t round) override;
+                 const graph::MixingWeights& weights, std::uint32_t round,
+                 core::RoundScratch& scratch) override;
 
   /// Sharing fraction chosen in the most recent round (for Figure 3).
   double last_alpha() const noexcept { return last_alpha_; }

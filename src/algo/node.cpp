@@ -27,6 +27,15 @@ std::vector<float> DlNode::flat_params() {
   return nn::to_flat(model_->parameters());
 }
 
+void DlNode::flat_params_into(std::vector<float>& out) {
+  out.resize(model_->parameter_count());
+  nn::copy_to_flat(model_->parameters(), out);
+}
+
+void DlNode::flat_params_into(std::span<float> out) {
+  nn::copy_to_flat(model_->parameters(), out);
+}
+
 void DlNode::set_flat_params(std::span<const float> flat) {
   nn::copy_from_flat(model_->parameters(), flat);
 }

@@ -19,6 +19,7 @@
 #include <memory>
 
 #include "core/rng.hpp"
+#include "core/scratch.hpp"
 #include "data/dataset.hpp"
 #include "graph/graph.hpp"
 #include "net/network.hpp"
@@ -50,20 +51,30 @@ class DlNode {
   /// Runs tau mini-batch SGD steps on local data. Returns mean train loss.
   float local_train();
 
-  /// Sends this round's messages to the neighbors in `g`.
+  /// Sends this round's messages to the neighbors in `g`. `scratch` is this
+  /// call's workspace (reset by the implementation on entry): the engine
+  /// hands each execution lane its own RoundScratch, so steady-state rounds
+  /// allocate nothing. Anything that must survive into aggregate() lives in
+  /// node members, never in scratch.
   virtual void share(net::Network& network, const graph::Graph& g,
-                     const graph::MixingWeights& weights,
-                     std::uint32_t round) = 0;
+                     const graph::MixingWeights& weights, std::uint32_t round,
+                     core::RoundScratch& scratch) = 0;
 
   /// Drains the mailbox and merges neighbor contributions into the model.
+  /// Same scratch contract as share().
   virtual void aggregate(net::Network& network, const graph::Graph& g,
                          const graph::MixingWeights& weights,
-                         std::uint32_t round) = 0;
+                         std::uint32_t round,
+                         core::RoundScratch& scratch) = 0;
 
   nn::SupervisedModel& model() noexcept { return *model_; }
 
   /// Flat view of the current model parameters.
   std::vector<float> flat_params();
+  /// Reuse variants: copy into caller storage (resized / sized to
+  /// param_count()) instead of allocating.
+  void flat_params_into(std::vector<float>& out);
+  void flat_params_into(std::span<float> out);
   void set_flat_params(std::span<const float> flat);
   std::size_t param_count();
 

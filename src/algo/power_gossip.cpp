@@ -61,12 +61,16 @@ PowerGossipNode::EdgeState& PowerGossipNode::edge(std::size_t neighbor) {
 
 void PowerGossipNode::share(net::Network& network, const graph::Graph& g,
                             const graph::MixingWeights& /*weights*/,
-                            std::uint32_t round) {
-  const std::vector<float> x = flat_params();
+                            std::uint32_t round, core::RoundScratch& scratch) {
+  scratch.reset();
+  const std::span<float> x = scratch.arena.alloc<float>(param_count());
+  flat_params_into(x);
   const bool phase_a = (round % 2 == 0);
   for (std::size_t j : g.neighbors(rank())) {
     EdgeState& state = edge(j);
-    net::ByteWriter writer;
+    // The per-edge payload differs, so each neighbor gets its own pooled
+    // buffer (no fan-out sharing here, unlike the broadcast algorithms).
+    net::ByteWriter writer(network.pool().acquire());
     for (std::size_t b = 0; b < blocks_.size(); ++b) {
       const Block& block = blocks_[b];
       BlockState& bs = state.block_state[b];
@@ -98,7 +102,7 @@ void PowerGossipNode::share(net::Network& network, const graph::Graph& g,
     net::Message msg;
     msg.sender = rank();
     msg.round = round;
-    msg.body = std::move(writer).take();
+    msg.body = network.pool().adopt(std::move(writer).take());
     msg.metadata_bytes = 4 * blocks_.size();  // array length prefixes
     network.send(static_cast<std::uint32_t>(j), msg);
   }
@@ -106,10 +110,14 @@ void PowerGossipNode::share(net::Network& network, const graph::Graph& g,
 
 void PowerGossipNode::aggregate(net::Network& network, const graph::Graph& g,
                                 const graph::MixingWeights& weights,
-                                std::uint32_t round) {
+                                std::uint32_t round,
+                                core::RoundScratch& scratch) {
+  scratch.reset();
   const bool phase_a = (round % 2 == 0);
-  const std::vector<net::Message> inbox = network.drain(rank());
-  std::vector<float> x = flat_params();
+  network.drain_into(rank(), scratch.inbox);
+  const std::vector<net::Message>& inbox = scratch.inbox;
+  const std::span<float> x = scratch.arena.alloc<float>(param_count());
+  flat_params_into(x);
   bool updated = false;
   for (const net::Message& msg : inbox) {
     EdgeState& state = edge(msg.sender);
@@ -118,12 +126,13 @@ void PowerGossipNode::aggregate(net::Network& network, const graph::Graph& g,
     for (std::size_t b = 0; b < blocks_.size(); ++b) {
       const Block& block = blocks_[b];
       BlockState& bs = state.block_state[b];
-      const std::vector<float> theirs = reader.read_f32_array();
+      reader.read_f32_array_into(scratch.floats);
+      const std::vector<float>& theirs = scratch.floats;
       if (phase_a) {
         if (theirs.size() != block.rows || bs.own_p.size() != block.rows) continue;
         // Both endpoints derive the same u by orienting the difference from
         // the lower-ranked node to the higher-ranked one.
-        std::vector<float> diff(block.rows);
+        const std::span<float> diff = scratch.arena.alloc<float>(block.rows);
         double norm_sq = 0.0;
         for (std::size_t r = 0; r < block.rows; ++r) {
           diff[r] = lower ? bs.own_p[r] - theirs[r] : theirs[r] - bs.own_p[r];
@@ -136,12 +145,12 @@ void PowerGossipNode::aggregate(net::Network& network, const graph::Graph& g,
           for (std::size_t r = 0; r < block.rows; ++r) {
             diff[r] = static_cast<float>(diff[r] / norm);
           }
-          bs.u = std::move(diff);
+          bs.u.assign(diff.begin(), diff.end());
         }
       } else {
         if (theirs.size() != block.cols || bs.own_q.size() != block.cols) continue;
         // dq = q_lo - q_hi; the rank-1 estimate of (M_lo - M_hi) is u dq^T.
-        std::vector<float> dq(block.cols);
+        const std::span<float> dq = scratch.arena.alloc<float>(block.cols);
         for (std::size_t c = 0; c < block.cols; ++c) {
           dq[c] = lower ? bs.own_q[c] - theirs[c] : theirs[c] - bs.own_q[c];
         }
@@ -168,7 +177,7 @@ void PowerGossipNode::aggregate(net::Network& network, const graph::Graph& g,
         const double norm = std::sqrt(norm_sq);
         if (norm > 1e-12) {
           for (float& v : dq) v = static_cast<float>(v / norm);
-          bs.v = std::move(dq);
+          bs.v.assign(dq.begin(), dq.end());
         }
         updated = true;
       }

@@ -41,9 +41,11 @@ class PowerGossipNode final : public DlNode {
                   data::Sampler sampler, TrainConfig config, Options options);
 
   void share(net::Network& network, const graph::Graph& g,
-             const graph::MixingWeights& weights, std::uint32_t round) override;
+             const graph::MixingWeights& weights, std::uint32_t round,
+             core::RoundScratch& scratch) override;
   void aggregate(net::Network& network, const graph::Graph& g,
-                 const graph::MixingWeights& weights, std::uint32_t round) override;
+                 const graph::MixingWeights& weights, std::uint32_t round,
+                 core::RoundScratch& scratch) override;
 
   /// Matrix blocks the model decomposes into (offset into the flat vector).
   struct Block {

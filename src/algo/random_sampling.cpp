@@ -22,23 +22,30 @@ RandomSamplingNode::RandomSamplingNode(
 
 void RandomSamplingNode::share(net::Network& network, const graph::Graph& g,
                                const graph::MixingWeights& /*weights*/,
-                               std::uint32_t round) {
-  const std::vector<float> x = flat_params();
-  const std::size_t n = x.size();
+                               std::uint32_t round,
+                               core::RoundScratch& scratch) {
+  scratch.reset();
+  const std::size_t n = param_count();
+  const std::span<float> x = scratch.arena.alloc<float>(n);
+  flat_params_into(x);
   const std::size_t k = std::max<std::size_t>(
       1, static_cast<std::size_t>(fraction_ * static_cast<double>(n) + 0.5));
   // Per-(node, round) subset seed, derived like every other stream
   // (core::derive_seed, no offset collisions); the receiver reconstructs the
   // subset from the 8 bytes in the message, not from this derivation.
   const std::uint64_t seed = core::derive_seed(seed_base_, rank(), round);
-  core::SparsePayload payload;
+  compress::random_indices_into(n, k, seed, indices_, scratch.arena);
+  const std::span<float> values = scratch.arena.alloc<float>(indices_.size());
+  compress::gather_into(x, indices_, values);
+  core::PayloadView payload;
   payload.vector_length = static_cast<std::uint32_t>(n);
-  payload.indices = compress::random_indices(n, k, seed);
-  payload.values = compress::gather(x, payload.indices);
+  payload.indices = indices_;
+  payload.values = values;
   core::PayloadOptions options;
   options.index_encoding = core::IndexEncoding::kSeed;
   options.seed = seed;
-  const net::Message msg = core::make_message(rank(), round, payload, options);
+  const net::Message msg = core::make_message(
+      rank(), round, payload, options, network.pool(), scratch.bits);
   for (std::size_t j : g.neighbors(rank())) {
     network.send(static_cast<std::uint32_t>(j), msg);
   }
@@ -46,20 +53,24 @@ void RandomSamplingNode::share(net::Network& network, const graph::Graph& g,
 
 void RandomSamplingNode::aggregate(net::Network& network, const graph::Graph& g,
                                    const graph::MixingWeights& weights,
-                                   std::uint32_t round) {
+                                   std::uint32_t round,
+                                   core::RoundScratch& scratch) {
   (void)round;
-  const std::vector<net::Message> inbox = network.drain(rank());
-  std::vector<core::SparsePayload> payloads;
-  payloads.reserve(inbox.size());
-  std::vector<core::WeightedContribution> contributions;
-  contributions.reserve(inbox.size());
+  scratch.reset();
+  network.drain_into(rank(), scratch.inbox);
+  const std::vector<net::Message>& inbox = scratch.inbox;
   for (const net::Message& msg : inbox) {
-    payloads.push_back(core::decode_payload(msg.body));
-    contributions.push_back(
-        {weight_of(g, weights, rank(), msg.sender), &payloads.back()});
+    core::decode_payload_into(msg.body, scratch.payloads.next(), scratch.arena);
   }
-  std::vector<float> x = flat_params();
-  core::partial_average(x, weights.self_weight[rank()], contributions);
+  // Pool references are stable once all payloads are decoded.
+  for (std::size_t i = 0; i < inbox.size(); ++i) {
+    scratch.contributions.push_back(
+        {weight_of(g, weights, rank(), inbox[i].sender), &scratch.payloads[i]});
+  }
+  const std::span<float> x = scratch.arena.alloc<float>(param_count());
+  flat_params_into(x);
+  core::partial_average(x, weights.self_weight[rank()], scratch.contributions,
+                        scratch.arena);
   set_flat_params(x);
 }
 

@@ -19,13 +19,16 @@ class RandomSamplingNode final : public DlNode {
                      std::uint64_t seed_base = 0x5EEDBA5Eull);
 
   void share(net::Network& network, const graph::Graph& g,
-             const graph::MixingWeights& weights, std::uint32_t round) override;
+             const graph::MixingWeights& weights, std::uint32_t round,
+             core::RoundScratch& scratch) override;
   void aggregate(net::Network& network, const graph::Graph& g,
-                 const graph::MixingWeights& weights, std::uint32_t round) override;
+                 const graph::MixingWeights& weights, std::uint32_t round,
+                 core::RoundScratch& scratch) override;
 
  private:
   double fraction_;
   std::uint64_t seed_base_;
+  std::vector<std::uint32_t> indices_;  ///< reused per-round sample buffer
 };
 
 }  // namespace jwins::algo

@@ -10,8 +10,25 @@
 namespace jwins::compress {
 
 /// Append-only bit sink; bits are packed MSB-first within each byte.
+///
+/// Hot-path reuse: clear() (or constructing from a recycled vector) keeps
+/// the byte buffer's capacity, so one BitWriter per worker makes repeated
+/// encodes allocation-free in steady state.
 class BitWriter {
  public:
+  BitWriter() = default;
+  /// Adopts `storage` as the byte buffer (cleared, capacity kept).
+  explicit BitWriter(std::vector<std::uint8_t> storage)
+      : bytes_(std::move(storage)) {
+    bytes_.clear();
+  }
+
+  /// Drops all written bits but keeps the heap capacity.
+  void clear() noexcept {
+    bytes_.clear();
+    bit_count_ = 0;
+  }
+
   /// Appends the lowest `count` bits of `bits`, most-significant first.
   void write_bits(std::uint64_t bits, unsigned count);
 

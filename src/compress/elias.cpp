@@ -51,6 +51,12 @@ std::uint64_t elias_delta_decode(BitReader& reader) {
 std::vector<std::uint8_t> encode_index_gaps(
     std::span<const std::uint32_t> sorted_indices) {
   BitWriter writer;
+  encode_index_gaps(sorted_indices, writer);
+  return std::move(writer).finish();
+}
+
+void encode_index_gaps(std::span<const std::uint32_t> sorted_indices,
+                       BitWriter& writer) {
   std::uint32_t prev = 0;
   bool first = true;
   for (std::uint32_t idx : sorted_indices) {
@@ -68,23 +74,29 @@ std::vector<std::uint8_t> encode_index_gaps(
     elias_gamma_encode(writer, gap);
     prev = idx;
   }
-  return std::move(writer).finish();
 }
 
 std::vector<std::uint32_t> decode_index_gaps(std::span<const std::uint8_t> bytes,
                                              std::size_t count) {
-  BitReader reader(bytes);
   std::vector<std::uint32_t> indices;
-  indices.reserve(count);
+  decode_index_gaps_into(bytes, count, indices);
+  return indices;
+}
+
+void decode_index_gaps_into(std::span<const std::uint8_t> bytes,
+                            std::size_t count,
+                            std::vector<std::uint32_t>& out) {
+  BitReader reader(bytes);
+  out.clear();
+  out.reserve(count);
   std::uint64_t prev = 0;
   for (std::size_t i = 0; i < count; ++i) {
     const std::uint64_t gap = elias_gamma_decode(reader);
     const std::uint64_t idx = (i == 0) ? gap - 1 : prev + gap;
     if (idx > 0xFFFFFFFFull) throw std::runtime_error("decoded index overflows u32");
-    indices.push_back(static_cast<std::uint32_t>(idx));
+    out.push_back(static_cast<std::uint32_t>(idx));
     prev = idx;
   }
-  return indices;
 }
 
 std::size_t index_gaps_encoded_size(std::span<const std::uint32_t> sorted_indices) {

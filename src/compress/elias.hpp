@@ -28,9 +28,19 @@ std::uint64_t elias_delta_decode(BitReader& reader);
 /// >= 1 by strict monotonicity. Returns the compressed bytes.
 std::vector<std::uint8_t> encode_index_gaps(std::span<const std::uint32_t> sorted_indices);
 
+/// Scratch variant: appends the gap code to `writer` (not cleared), so a
+/// reused BitWriter makes the encode allocation-free in steady state.
+void encode_index_gaps(std::span<const std::uint32_t> sorted_indices,
+                       BitWriter& writer);
+
 /// Inverse of encode_index_gaps. `count` is the number of indices encoded.
 std::vector<std::uint32_t> decode_index_gaps(std::span<const std::uint8_t> bytes,
                                              std::size_t count);
+
+/// Scratch variant: decodes into `out` (cleared first, capacity kept).
+void decode_index_gaps_into(std::span<const std::uint8_t> bytes,
+                            std::size_t count,
+                            std::vector<std::uint32_t>& out);
 
 /// Size in bytes that encode_index_gaps would produce (without building it).
 std::size_t index_gaps_encoded_size(std::span<const std::uint32_t> sorted_indices);

@@ -71,6 +71,10 @@ std::vector<std::uint8_t> compress_floats(std::span<const float> values) {
   return std::move(writer).finish();
 }
 
+void compress_floats(std::span<const float> values, BitWriter& writer) {
+  encode_stream(values, &writer);
+}
+
 std::size_t compressed_floats_size(std::span<const float> values) {
   return (encode_stream(values, nullptr) + 7) / 8;
 }
@@ -78,7 +82,14 @@ std::size_t compressed_floats_size(std::span<const float> values) {
 std::vector<float> decompress_floats(std::span<const std::uint8_t> bytes,
                                      std::size_t count) {
   std::vector<float> out;
-  if (count == 0) return out;
+  decompress_floats_into(bytes, count, out);
+  return out;
+}
+
+void decompress_floats_into(std::span<const std::uint8_t> bytes,
+                            std::size_t count, std::vector<float>& out) {
+  out.clear();
+  if (count == 0) return;
   out.reserve(count);
   BitReader reader(bytes);
   std::uint32_t prev = static_cast<std::uint32_t>(reader.read_bits(32));
@@ -103,7 +114,6 @@ std::vector<float> decompress_floats(std::span<const std::uint8_t> bytes,
     prev ^= meaningful << shift;
     out.push_back(bits_float(prev));
   }
-  return out;
 }
 
 }  // namespace jwins::compress

@@ -14,15 +14,25 @@
 #include <span>
 #include <vector>
 
+#include "compress/bitstream.hpp"
+
 namespace jwins::compress {
 
 /// Compresses a float stream losslessly. Output layout: the raw first value
 /// then XOR-coded residuals.
 std::vector<std::uint8_t> compress_floats(std::span<const float> values);
 
+/// Scratch variant: appends the code to `writer` (not cleared), so a reused
+/// BitWriter makes the compression allocation-free in steady state.
+void compress_floats(std::span<const float> values, BitWriter& writer);
+
 /// Exact inverse of compress_floats. `count` is the number of floats encoded.
 std::vector<float> decompress_floats(std::span<const std::uint8_t> bytes,
                                      std::size_t count);
+
+/// Scratch variant: decodes into `out` (cleared first, capacity kept).
+void decompress_floats_into(std::span<const std::uint8_t> bytes,
+                            std::size_t count, std::vector<float>& out);
 
 /// Compressed size in bytes without materializing the buffer.
 std::size_t compressed_floats_size(std::span<const float> values);

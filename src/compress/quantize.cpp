@@ -19,24 +19,23 @@ unsigned bits_per_level(std::uint32_t levels) noexcept {
 }  // namespace
 
 template <class Urbg>
-QuantizedVector qsgd_quantize(std::span<const float> values,
-                              std::uint32_t levels, Urbg& rng) {
+void qsgd_quantize_into(std::span<const float> values, std::uint32_t levels,
+                        Urbg& rng, QuantizedVector& out) {
   if (levels == 0) throw std::invalid_argument("qsgd_quantize: levels must be >= 1");
-  QuantizedVector q;
-  q.levels = levels;
-  q.count = static_cast<std::uint32_t>(values.size());
+  out.levels = levels;
+  out.count = static_cast<std::uint32_t>(values.size());
   double norm_sq = 0.0;
   for (float v : values) norm_sq += static_cast<double>(v) * v;
-  q.norm = static_cast<float>(std::sqrt(norm_sq));
-  BitWriter writer;
+  out.norm = static_cast<float>(std::sqrt(norm_sq));
+  BitWriter writer(std::move(out.packed));  // reuse the packed capacity
   std::uniform_real_distribution<double> u01(0.0, 1.0);
   const unsigned level_bits = bits_per_level(levels);
   for (float v : values) {
     writer.write_bit(v < 0.0f);
     std::uint32_t level = 0;
-    if (q.norm > 0.0f) {
+    if (out.norm > 0.0f) {
       const double scaled =
-          std::fabs(v) / q.norm * static_cast<double>(levels);
+          std::fabs(v) / out.norm * static_cast<double>(levels);
       const auto lower = static_cast<std::uint32_t>(scaled);
       const double frac = scaled - lower;
       level = lower + (u01(rng) < frac ? 1u : 0u);  // unbiased rounding
@@ -44,7 +43,14 @@ QuantizedVector qsgd_quantize(std::span<const float> values,
     }
     writer.write_bits(level, level_bits);
   }
-  q.packed = std::move(writer).finish();
+  out.packed = std::move(writer).finish();
+}
+
+template <class Urbg>
+QuantizedVector qsgd_quantize(std::span<const float> values,
+                              std::uint32_t levels, Urbg& rng) {
+  QuantizedVector q;
+  qsgd_quantize_into(values, levels, rng, q);
   return q;
 }
 
@@ -54,19 +60,57 @@ template QuantizedVector qsgd_quantize<std::mt19937_64>(std::span<const float>,
 template QuantizedVector qsgd_quantize<core::CounterRng>(std::span<const float>,
                                                          std::uint32_t,
                                                          core::CounterRng&);
+template void qsgd_quantize_into<std::mt19937_64>(std::span<const float>,
+                                                  std::uint32_t,
+                                                  std::mt19937_64&,
+                                                  QuantizedVector&);
+template void qsgd_quantize_into<core::CounterRng>(std::span<const float>,
+                                                   std::uint32_t,
+                                                   core::CounterRng&,
+                                                   QuantizedVector&);
 
 std::vector<float> qsgd_dequantize(const QuantizedVector& q) {
-  std::vector<float> out(q.count, 0.0f);
-  if (q.count == 0) return out;
-  BitReader reader(q.packed);
-  const unsigned level_bits = bits_per_level(q.levels);
-  const float scale = q.norm / static_cast<float>(q.levels);
-  for (std::uint32_t i = 0; i < q.count; ++i) {
+  std::vector<float> out;
+  qsgd_dequantize_into(q, out);
+  return out;
+}
+
+namespace {
+
+void dequantize_packed(float norm, std::uint32_t levels, std::uint32_t count,
+                       std::span<const std::uint8_t> packed,
+                       std::vector<float>& out) {
+  out.assign(count, 0.0f);
+  if (count == 0) return;
+  BitReader reader(packed);
+  const unsigned level_bits = bits_per_level(levels);
+  const float scale = norm / static_cast<float>(levels);
+  for (std::uint32_t i = 0; i < count; ++i) {
     const bool negative = reader.read_bit();
     const auto level = static_cast<float>(reader.read_bits(level_bits));
     out[i] = (negative ? -1.0f : 1.0f) * scale * level;
   }
-  return out;
+}
+
+}  // namespace
+
+void qsgd_dequantize_into(const QuantizedVector& q, std::vector<float>& out) {
+  dequantize_packed(q.norm, q.levels, q.count, q.packed, out);
+}
+
+void qsgd_dequantize_into(const QuantizedView& q, std::vector<float>& out) {
+  dequantize_packed(q.norm, q.levels, q.count, q.packed, out);
+}
+
+QuantizedView qsgd_view(std::span<const std::uint8_t> bytes) {
+  net::ByteReader reader(bytes);
+  QuantizedView q;
+  q.norm = reader.read_f32();
+  q.levels = reader.read_u32();
+  q.count = reader.read_u32();
+  q.packed = reader.view_bytes();
+  if (q.levels == 0) throw std::runtime_error("qsgd_view: zero levels");
+  return q;
 }
 
 std::size_t qsgd_wire_size(const QuantizedVector& q) noexcept {
@@ -76,22 +120,32 @@ std::size_t qsgd_wire_size(const QuantizedVector& q) noexcept {
 
 std::vector<std::uint8_t> qsgd_serialize(const QuantizedVector& q) {
   net::ByteWriter writer;
+  qsgd_serialize_into(q, writer);
+  return std::move(writer).take();
+}
+
+void qsgd_serialize_into(const QuantizedVector& q, net::ByteWriter& writer) {
   writer.write_f32(q.norm);
   writer.write_u32(q.levels);
   writer.write_u32(q.count);
   writer.write_bytes(q.packed);
-  return std::move(writer).take();
 }
 
 QuantizedVector qsgd_deserialize(std::span<const std::uint8_t> bytes) {
-  net::ByteReader reader(bytes);
   QuantizedVector q;
-  q.norm = reader.read_f32();
-  q.levels = reader.read_u32();
-  q.count = reader.read_u32();
-  q.packed = reader.read_bytes();
-  if (q.levels == 0) throw std::runtime_error("qsgd_deserialize: zero levels");
+  qsgd_deserialize_into(bytes, q);
   return q;
+}
+
+void qsgd_deserialize_into(std::span<const std::uint8_t> bytes,
+                           QuantizedVector& out) {
+  net::ByteReader reader(bytes);
+  out.norm = reader.read_f32();
+  out.levels = reader.read_u32();
+  out.count = reader.read_u32();
+  const std::span<const std::uint8_t> packed = reader.view_bytes();
+  out.packed.assign(packed.begin(), packed.end());
+  if (out.levels == 0) throw std::runtime_error("qsgd_deserialize: zero levels");
 }
 
 }  // namespace jwins::compress

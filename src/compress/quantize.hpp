@@ -18,6 +18,10 @@
 
 #include "core/rng.hpp"
 
+namespace jwins::net {
+class ByteWriter;
+}
+
 namespace jwins::compress {
 
 struct QuantizedVector {
@@ -39,8 +43,36 @@ extern template QuantizedVector qsgd_quantize<std::mt19937_64>(
 extern template QuantizedVector qsgd_quantize<core::CounterRng>(
     std::span<const float>, std::uint32_t, core::CounterRng&);
 
+/// Scratch variant: quantizes into `out`, reusing out.packed's capacity.
+/// Bit-identical to qsgd_quantize().
+template <class Urbg>
+void qsgd_quantize_into(std::span<const float> values, std::uint32_t levels,
+                        Urbg& rng, QuantizedVector& out);
+
+extern template void qsgd_quantize_into<std::mt19937_64>(
+    std::span<const float>, std::uint32_t, std::mt19937_64&, QuantizedVector&);
+extern template void qsgd_quantize_into<core::CounterRng>(
+    std::span<const float>, std::uint32_t, core::CounterRng&, QuantizedVector&);
+
+/// Non-owning view of a serialized quantized vector: the packed bitstream
+/// stays in the (refcounted) message body, so decoding is zero-copy.
+struct QuantizedView {
+  float norm = 0.0f;
+  std::uint32_t levels = 1;
+  std::uint32_t count = 0;
+  std::span<const std::uint8_t> packed;
+};
+
+/// Parses the qsgd wire format into a view over `bytes` (no copies).
+/// The view is valid as long as `bytes` is.
+QuantizedView qsgd_view(std::span<const std::uint8_t> bytes);
+
 /// Reconstructs the (lossy) vector: sign * norm * level / s per element.
 std::vector<float> qsgd_dequantize(const QuantizedVector& q);
+
+/// Scratch variants: reconstruct into `out` (resized to count).
+void qsgd_dequantize_into(const QuantizedVector& q, std::vector<float>& out);
+void qsgd_dequantize_into(const QuantizedView& q, std::vector<float>& out);
 
 /// Serialized wire size in bytes.
 std::size_t qsgd_wire_size(const QuantizedVector& q) noexcept;
@@ -49,5 +81,11 @@ std::size_t qsgd_wire_size(const QuantizedVector& q) noexcept;
 /// count u32, packed bytes).
 std::vector<std::uint8_t> qsgd_serialize(const QuantizedVector& q);
 QuantizedVector qsgd_deserialize(std::span<const std::uint8_t> bytes);
+
+/// Scratch variants: serialize appends to a caller-owned writer, deserialize
+/// reuses `out`'s packed buffer.
+void qsgd_serialize_into(const QuantizedVector& q, net::ByteWriter& writer);
+void qsgd_deserialize_into(std::span<const std::uint8_t> bytes,
+                           QuantizedVector& out);
 
 }  // namespace jwins::compress

@@ -9,49 +9,90 @@ namespace jwins::compress {
 
 std::vector<std::uint32_t> topk_indices(std::span<const float> values,
                                         std::size_t k) {
-  const std::size_t n = values.size();
-  std::vector<std::uint32_t> order(n);
-  std::iota(order.begin(), order.end(), 0u);
-  if (k >= n) {
-    return order;  // already ascending
-  }
-  std::nth_element(order.begin(), order.begin() + static_cast<std::ptrdiff_t>(k),
-                   order.end(), [&](std::uint32_t a, std::uint32_t b) {
-                     return std::fabs(values[a]) > std::fabs(values[b]);
-                   });
-  order.resize(k);
-  std::sort(order.begin(), order.end());
+  std::vector<std::uint32_t> order;
+  topk_indices_into(values, k, order);
   return order;
 }
 
-std::vector<std::uint32_t> random_indices(std::size_t n, std::size_t k,
-                                          std::uint64_t seed) {
+void topk_indices_into(std::span<const float> values, std::size_t k,
+                       std::vector<std::uint32_t>& out) {
+  const std::size_t n = values.size();
+  // `out` is the selection workspace: its capacity stays at n after the
+  // first call, so reuse makes this allocation-free.
+  out.resize(n);
+  std::iota(out.begin(), out.end(), 0u);
+  if (k >= n) {
+    return;  // already ascending
+  }
+  std::nth_element(out.begin(), out.begin() + static_cast<std::ptrdiff_t>(k),
+                   out.end(), [&](std::uint32_t a, std::uint32_t b) {
+                     return std::fabs(values[a]) > std::fabs(values[b]);
+                   });
+  out.resize(k);
+  std::sort(out.begin(), out.end());
+}
+
+namespace {
+
+template <class Flags>
+void floyd_sample(std::size_t n, std::size_t k, std::uint64_t seed,
+                  std::vector<std::uint32_t>& out, Flags&& in_set) {
   if (k > n) k = n;
   std::mt19937_64 rng(seed);
-  // Floyd's algorithm gives k distinct samples in O(k) memory.
-  std::vector<std::uint32_t> picked;
-  picked.reserve(k);
-  std::vector<bool> in_set(n, false);
+  // Floyd's algorithm gives k distinct samples in O(k) draws.
+  out.clear();
+  out.reserve(k);
   for (std::size_t j = n - k; j < n; ++j) {
     std::uniform_int_distribution<std::size_t> dist(0, j);
     std::size_t t = dist(rng);
     if (in_set[t]) t = j;
     in_set[t] = true;
-    picked.push_back(static_cast<std::uint32_t>(t));
+    out.push_back(static_cast<std::uint32_t>(t));
   }
-  std::sort(picked.begin(), picked.end());
+  std::sort(out.begin(), out.end());
+}
+
+}  // namespace
+
+std::vector<std::uint32_t> random_indices(std::size_t n, std::size_t k,
+                                          std::uint64_t seed) {
+  std::vector<std::uint32_t> picked;
+  std::vector<bool> in_set(n, false);
+  floyd_sample(n, k, seed, picked, in_set);
   return picked;
+}
+
+void random_indices_into(std::size_t n, std::size_t k, std::uint64_t seed,
+                         std::vector<std::uint32_t>& out, core::Arena& arena) {
+  const std::span<std::uint8_t> in_set = arena.alloc<std::uint8_t>(n);
+  std::fill(in_set.begin(), in_set.end(), std::uint8_t{0});
+  floyd_sample(n, k, seed, out, in_set);
 }
 
 std::vector<float> gather(std::span<const float> values,
                           std::span<const std::uint32_t> indices) {
   std::vector<float> out;
-  out.reserve(indices.size());
-  for (std::uint32_t idx : indices) {
-    if (idx >= values.size()) throw std::out_of_range("gather: index out of range");
-    out.push_back(values[idx]);
-  }
+  gather_into(values, indices, out);
   return out;
+}
+
+void gather_into(std::span<const float> values,
+                 std::span<const std::uint32_t> indices,
+                 std::vector<float>& out) {
+  out.resize(indices.size());
+  gather_into(values, indices, std::span<float>(out));
+}
+
+void gather_into(std::span<const float> values,
+                 std::span<const std::uint32_t> indices, std::span<float> out) {
+  if (out.size() != indices.size()) {
+    throw std::invalid_argument("gather_into: output size mismatch");
+  }
+  for (std::size_t i = 0; i < indices.size(); ++i) {
+    const std::uint32_t idx = indices[i];
+    if (idx >= values.size()) throw std::out_of_range("gather: index out of range");
+    out[i] = values[idx];
+  }
 }
 
 void scatter(std::span<float> dense, std::span<const std::uint32_t> indices,

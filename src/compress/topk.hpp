@@ -8,6 +8,8 @@
 #include <span>
 #include <vector>
 
+#include "core/arena.hpp"
+
 namespace jwins::compress {
 
 /// Indices of the `k` largest-magnitude elements of `values`, sorted
@@ -16,6 +18,12 @@ namespace jwins::compress {
 std::vector<std::uint32_t> topk_indices(std::span<const float> values,
                                         std::size_t k);
 
+/// Scratch variant: selects into `out` (overwritten), which doubles as the
+/// selection workspace — once warmed to values.size() capacity the call is
+/// allocation-free. Bit-identical to topk_indices().
+void topk_indices_into(std::span<const float> values, std::size_t k,
+                       std::vector<std::uint32_t>& out);
+
 /// `k` distinct indices drawn uniformly from [0, n) using `seed` — the
 /// random-sampling baseline. Sharing the seed reproduces the exact subset on
 /// the receiver, so the metadata cost is just the 8-byte seed (paper §II-B2).
@@ -23,9 +31,24 @@ std::vector<std::uint32_t> topk_indices(std::span<const float> values,
 std::vector<std::uint32_t> random_indices(std::size_t n, std::size_t k,
                                           std::uint64_t seed);
 
+/// Scratch variant: draws into `out` (cleared first) using `arena` for the
+/// O(n) membership flags. Bit-identical to random_indices().
+void random_indices_into(std::size_t n, std::size_t k, std::uint64_t seed,
+                         std::vector<std::uint32_t>& out, core::Arena& arena);
+
 /// Gathers `values[idx]` for each idx.
 std::vector<float> gather(std::span<const float> values,
                           std::span<const std::uint32_t> indices);
+
+/// Scratch variant: gathers into `out` (resized to indices.size()).
+void gather_into(std::span<const float> values,
+                 std::span<const std::uint32_t> indices,
+                 std::vector<float>& out);
+
+/// Scratch variant gathering into a caller-provided span (same length as
+/// `indices`), e.g. arena storage.
+void gather_into(std::span<const float> values,
+                 std::span<const std::uint32_t> indices, std::span<float> out);
 
 /// Scatters `sparse[i]` into `dense[indices[i]]`.
 void scatter(std::span<float> dense, std::span<const std::uint32_t> indices,

@@ -1,0 +1,84 @@
+#include "core/arena.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace jwins::core {
+
+namespace {
+
+constexpr std::size_t kMinBlockBytes = 4096;
+
+bool is_power_of_two(std::size_t v) noexcept { return v && (v & (v - 1)) == 0; }
+
+}  // namespace
+
+Arena::Block Arena::make_block(std::size_t bytes) {
+  Block block;
+  block.size = std::max(bytes, kMinBlockBytes);
+  block.data = std::make_unique<std::byte[]>(block.size);
+  return block;
+}
+
+void* Arena::allocate(std::size_t bytes, std::size_t alignment) {
+  if (!is_power_of_two(alignment) || alignment > alignof(std::max_align_t)) {
+    throw std::invalid_argument(
+        "Arena::allocate: alignment must be a power of two <= max_align_t");
+  }
+  if (bytes == 0) bytes = 1;  // distinct non-null result, keeps spans simple
+  // Bump the active block; operator new[] storage is max-aligned, so aligning
+  // the offset aligns the pointer.
+  for (;;) {
+    if (active_ < blocks_.size()) {
+      Block& block = blocks_[active_];
+      const std::size_t aligned =
+          (block.offset + alignment - 1) & ~(alignment - 1);
+      if (aligned + bytes <= block.size) {
+        used_ += (aligned - block.offset) + bytes;  // padding + payload
+        block.offset = aligned + bytes;
+        high_water_ = std::max(high_water_, used_);
+        return block.data.get() + aligned;
+      }
+    }
+    if (active_ + 1 < blocks_.size()) {
+      ++active_;
+      continue;
+    }
+    // Out of room everywhere: chain a block at least doubling total capacity.
+    const std::size_t want = std::max(bytes + alignment, 2 * capacity());
+    blocks_.push_back(make_block(want));
+    active_ = blocks_.size() - 1;
+  }
+}
+
+void Arena::reset() {
+  if (blocks_.size() > 1) {
+    // Consolidate: one block with the combined capacity (rounded up so the
+    // same workload fits without chaining again).
+    const std::size_t total = capacity();
+    blocks_.clear();
+    blocks_.push_back(make_block(total));
+  }
+  for (Block& b : blocks_) b.offset = 0;
+  active_ = 0;
+  used_ = 0;
+}
+
+void Arena::reserve(std::size_t bytes) {
+  if (used_ != 0) {
+    throw std::logic_error("Arena::reserve: outstanding allocations");
+  }
+  if (capacity() >= bytes && blocks_.size() <= 1) return;
+  const std::size_t want = std::max(bytes, capacity());
+  blocks_.clear();
+  blocks_.push_back(make_block(want));
+  active_ = 0;
+}
+
+std::size_t Arena::capacity() const noexcept {
+  std::size_t total = 0;
+  for (const Block& b : blocks_) total += b.size;
+  return total;
+}
+
+}  // namespace jwins::core

@@ -1,0 +1,98 @@
+// Round-scratch bump allocator — the backbone of the hot-path memory model
+// (docs/PERFORMANCE.md).
+//
+// The per-round loop (train -> share -> aggregate) used to re-allocate every
+// temporary — DWT deltas, TopK order arrays, partial-averaging accumulators —
+// from the heap on every call. An Arena replaces all of those with pointer
+// bumps into a block that is allocated once and reused for the rest of the
+// run: allocations are O(1) with no lock and no syscall, and reset() makes
+// the whole capacity available again without returning anything to the heap.
+//
+// Lifetime contract: memory obtained from alloc()/allocate() is valid until
+// the NEXT reset() (or destruction). The engine resets a worker's arena at
+// the top of each share()/aggregate() call, so arena spans never outlive the
+// node call that requested them. Arenas are single-threaded by design — one
+// per worker lane, never shared (see sim::Experiment).
+//
+// Growth: when a block runs out, a new block of at least twice the total
+// capacity is chained on; the next reset() consolidates everything into one
+// block, so steady state is a single block and zero heap traffic. Determinism
+// is unaffected: arena contents are always fully written before being read,
+// and no computed value ever depends on an address.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <type_traits>
+#include <vector>
+
+namespace jwins::core {
+
+class Arena {
+ public:
+  Arena() = default;
+  /// Pre-sizes the arena to one block of at least `initial_bytes`.
+  explicit Arena(std::size_t initial_bytes) { reserve(initial_bytes); }
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+  Arena(Arena&&) noexcept = default;
+  Arena& operator=(Arena&&) noexcept = default;
+
+  /// Uninitialized storage for `count` objects of trivially-destructible T,
+  /// aligned to alignof(T). Callers must write before reading. count == 0
+  /// returns an empty span without touching the arena.
+  template <typename T>
+  std::span<T> alloc(std::size_t count) {
+    static_assert(std::is_trivially_destructible_v<T>,
+                  "Arena never runs destructors");
+    if (count == 0) return {};
+    void* p = allocate(count * sizeof(T), alignof(T));
+    return {static_cast<T*>(p), count};
+  }
+
+  /// Raw aligned allocation. `alignment` must be a power of two and at most
+  /// alignof(std::max_align_t) (blocks are max-aligned).
+  void* allocate(std::size_t bytes, std::size_t alignment);
+
+  /// Invalidates every outstanding allocation and makes the full capacity
+  /// available again. If growth split the arena across blocks, they are
+  /// consolidated into one (the only reset that touches the heap), so a
+  /// warmed-up arena resets for free.
+  void reset();
+
+  /// Guarantees one block of at least `bytes` total capacity. Outstanding
+  /// allocations must not exist (used() == 0); call before the first round.
+  void reserve(std::size_t bytes);
+
+  /// Total bytes owned across all blocks.
+  std::size_t capacity() const noexcept;
+
+  /// Bytes handed out (including alignment padding) since the last reset().
+  std::size_t used() const noexcept { return used_; }
+
+  /// Largest used() observed over the arena's lifetime — what reserve()
+  /// should be fed to make the next run allocation-free from round one.
+  std::size_t high_water() const noexcept { return high_water_; }
+
+  /// Number of blocks currently owned (1 in steady state).
+  std::size_t block_count() const noexcept { return blocks_.size(); }
+
+ private:
+  struct Block {
+    std::unique_ptr<std::byte[]> data;
+    std::size_t size = 0;
+    std::size_t offset = 0;
+  };
+
+  Block make_block(std::size_t bytes);
+
+  std::vector<Block> blocks_;
+  std::size_t active_ = 0;      ///< index of the block being bumped
+  std::size_t used_ = 0;
+  std::size_t high_water_ = 0;
+};
+
+}  // namespace jwins::core

@@ -4,13 +4,16 @@
 
 namespace jwins::core {
 
-void partial_average(std::span<float> own, double self_weight,
-                     std::span<const WeightedContribution> contributions) {
+namespace {
+
+void partial_average_impl(std::span<float> own, double self_weight,
+                          std::span<const WeightedContribution> contributions,
+                          std::span<double> numerator,
+                          std::span<double> denominator) {
   const std::size_t n = own.size();
-  std::vector<double> numerator(n);
-  std::vector<double> denominator(n, self_weight);
   for (std::size_t i = 0; i < n; ++i) {
     numerator[i] = self_weight * own[i];
+    denominator[i] = self_weight;
   }
   for (const WeightedContribution& c : contributions) {
     if (c.payload == nullptr) {
@@ -41,6 +44,23 @@ void partial_average(std::span<float> own, double self_weight,
                  ? static_cast<float>(numerator[i] / denominator[i])
                  : own[i];
   }
+}
+
+}  // namespace
+
+void partial_average(std::span<float> own, double self_weight,
+                     std::span<const WeightedContribution> contributions) {
+  std::vector<double> numerator(own.size());
+  std::vector<double> denominator(own.size());
+  partial_average_impl(own, self_weight, contributions, numerator, denominator);
+}
+
+void partial_average(std::span<float> own, double self_weight,
+                     std::span<const WeightedContribution> contributions,
+                     Arena& arena) {
+  const std::span<double> numerator = arena.alloc<double>(own.size());
+  const std::span<double> denominator = arena.alloc<double>(own.size());
+  partial_average_impl(own, self_weight, contributions, numerator, denominator);
 }
 
 }  // namespace jwins::core

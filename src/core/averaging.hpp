@@ -12,6 +12,7 @@
 #include <span>
 #include <vector>
 
+#include "core/arena.hpp"
 #include "core/sparse_payload.hpp"
 
 namespace jwins::core {
@@ -24,5 +25,12 @@ struct WeightedContribution {
 /// Averages `own` (dense) with sparse neighbor contributions in place.
 void partial_average(std::span<float> own, double self_weight,
                      std::span<const WeightedContribution> contributions);
+
+/// Scratch variant: the two O(n) double accumulators come from `arena`
+/// instead of the heap (valid only within this call). Bit-identical to the
+/// allocating overload.
+void partial_average(std::span<float> own, double self_weight,
+                     std::span<const WeightedContribution> contributions,
+                     Arena& arena);
 
 }  // namespace jwins::core

@@ -1,5 +1,6 @@
 #include "core/ranker.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 namespace jwins::core {
@@ -35,51 +36,108 @@ std::size_t WaveletRanker::band_of(std::size_t coeff_index) const {
 }
 
 std::vector<float> WaveletRanker::transform(std::span<const float> model) const {
+  std::vector<float> coeffs(coeff_length());
+  dwt::DwtWorkspace ws;
+  transform_into(model, coeffs, ws);
+  return coeffs;
+}
+
+void WaveletRanker::transform_into(std::span<const float> model,
+                                   std::span<float> coeffs,
+                                   dwt::DwtWorkspace& ws) const {
   if (model.size() != model_size_) {
     throw std::invalid_argument("WaveletRanker::transform: size mismatch");
   }
-  if (plan_) return plan_->forward(model);
-  return std::vector<float>(model.begin(), model.end());
+  if (coeffs.size() != coeff_length()) {
+    throw std::invalid_argument("WaveletRanker::transform: coeff size mismatch");
+  }
+  if (plan_) {
+    plan_->forward_into(model, coeffs, ws);
+  } else {
+    std::copy(model.begin(), model.end(), coeffs.begin());
+  }
 }
 
 std::vector<float> WaveletRanker::inverse(std::span<const float> coeffs) const {
+  std::vector<float> model(model_size_);
+  dwt::DwtWorkspace ws;
+  inverse_into(coeffs, model, ws);
+  return model;
+}
+
+void WaveletRanker::inverse_into(std::span<const float> coeffs,
+                                 std::span<float> model,
+                                 dwt::DwtWorkspace& ws) const {
   if (coeffs.size() != coeff_length()) {
     throw std::invalid_argument("WaveletRanker::inverse: size mismatch");
   }
-  if (plan_) return plan_->inverse(coeffs);
-  return std::vector<float>(coeffs.begin(), coeffs.end());
+  if (model.size() != model_size_) {
+    throw std::invalid_argument("WaveletRanker::inverse: model size mismatch");
+  }
+  if (plan_) {
+    plan_->inverse_into(coeffs, model, ws);
+  } else {
+    std::copy(coeffs.begin(), coeffs.end(), model.begin());
+  }
 }
+
+namespace {
+
+/// Shared eq. (3)/(4) core: scores += T(after - before), with `delta` and
+/// `coeffs` provided by the caller (heap or arena — same arithmetic).
+void accumulate_delta(const WaveletRanker& ranker, std::vector<float>& scores,
+                      std::span<const float> before,
+                      std::span<const float> after, std::span<float> delta,
+                      std::span<float> coeffs, dwt::DwtWorkspace& ws) {
+  for (std::size_t i = 0; i < delta.size(); ++i) delta[i] = after[i] - before[i];
+  ranker.transform_into(delta, coeffs, ws);
+  for (std::size_t i = 0; i < scores.size(); ++i) scores[i] += coeffs[i];
+}
+
+}  // namespace
 
 std::span<const float> WaveletRanker::accumulate_round_change(
     std::span<const float> before, std::span<const float> after) {
+  Arena arena;
+  dwt::DwtWorkspace ws;
+  return accumulate_round_change(before, after, arena, ws);
+}
+
+std::span<const float> WaveletRanker::accumulate_round_change(
+    std::span<const float> before, std::span<const float> after, Arena& arena,
+    dwt::DwtWorkspace& ws) {
   if (before.size() != model_size_ || after.size() != model_size_) {
     throw std::invalid_argument("WaveletRanker: model size mismatch");
   }
   if (!options_.use_accumulation) {
     std::fill(scores_.begin(), scores_.end(), 0.0f);
   }
-  std::vector<float> delta(model_size_);
-  for (std::size_t i = 0; i < model_size_; ++i) delta[i] = after[i] - before[i];
-  const std::vector<float> coeffs = transform(delta);
-  for (std::size_t i = 0; i < scores_.size(); ++i) scores_[i] += coeffs[i];
+  accumulate_delta(*this, scores_, before, after, arena.alloc<float>(model_size_),
+                   arena.alloc<float>(coeff_length()), ws);
   return scores_;
 }
 
 void WaveletRanker::finish_round(std::span<const float> pre_average,
                                  std::span<const float> post_average,
                                  std::span<const std::uint32_t> sent_indices) {
+  Arena arena;
+  dwt::DwtWorkspace ws;
+  finish_round(pre_average, post_average, sent_indices, arena, ws);
+}
+
+void WaveletRanker::finish_round(std::span<const float> pre_average,
+                                 std::span<const float> post_average,
+                                 std::span<const std::uint32_t> sent_indices,
+                                 Arena& arena, dwt::DwtWorkspace& ws) {
   if (pre_average.size() != model_size_ || post_average.size() != model_size_) {
     throw std::invalid_argument("WaveletRanker::finish_round: size mismatch");
   }
   // Eq. (4): by linearity of the transform, adding T(x^{t+1,0} - x^{t,tau})
   // on top of the already-accumulated T(x^{t,tau} - x^{t,0}) yields
   // V + T(x^{t+1,0} - x^{t,0}) for the round.
-  std::vector<float> delta(model_size_);
-  for (std::size_t i = 0; i < model_size_; ++i) {
-    delta[i] = post_average[i] - pre_average[i];
-  }
-  const std::vector<float> coeffs = transform(delta);
-  for (std::size_t i = 0; i < scores_.size(); ++i) scores_[i] += coeffs[i];
+  accumulate_delta(*this, scores_, pre_average, post_average,
+                   arena.alloc<float>(model_size_),
+                   arena.alloc<float>(coeff_length()), ws);
   // "Entries in the accumulation vector that were chosen in this round are
   // set to zero" — the shared coefficients' pent-up change has been
   // communicated.

@@ -14,6 +14,7 @@
 #include <span>
 #include <vector>
 
+#include "core/arena.hpp"
 #include "dwt/dwt.hpp"
 
 namespace jwins::core {
@@ -35,19 +36,42 @@ class WaveletRanker {
   /// Transforms a model vector into the ranking domain.
   std::vector<float> transform(std::span<const float> model) const;
 
+  /// Scratch variant: writes into `coeffs` (size coeff_length()), all
+  /// temporaries in `ws`. Bit-identical to transform().
+  void transform_into(std::span<const float> model, std::span<float> coeffs,
+                      dwt::DwtWorkspace& ws) const;
+
   /// Inverse transform back to the parameter domain.
   std::vector<float> inverse(std::span<const float> coeffs) const;
+
+  /// Scratch variant: writes into `model` (size model_size), all
+  /// temporaries in `ws`. Bit-identical to inverse().
+  void inverse_into(std::span<const float> coeffs, std::span<float> model,
+                    dwt::DwtWorkspace& ws) const;
 
   /// Eq. (3): V' = V + T(x_after - x_before). Returns a view of the updated
   /// scores (valid until the next call).
   std::span<const float> accumulate_round_change(std::span<const float> before,
                                                  std::span<const float> after);
 
+  /// Scratch variant: the delta and coefficient temporaries come from
+  /// `arena`/`ws`. Bit-identical to the allocating overload.
+  std::span<const float> accumulate_round_change(std::span<const float> before,
+                                                 std::span<const float> after,
+                                                 Arena& arena,
+                                                 dwt::DwtWorkspace& ws);
+
   /// Post-averaging bookkeeping, eq. (4): folds the model change caused by
   /// averaging into V, then resets the entries that were sent this round.
   void finish_round(std::span<const float> pre_average,
                     std::span<const float> post_average,
                     std::span<const std::uint32_t> sent_indices);
+
+  /// Scratch variant of finish_round (see accumulate_round_change).
+  void finish_round(std::span<const float> pre_average,
+                    std::span<const float> post_average,
+                    std::span<const std::uint32_t> sent_indices, Arena& arena,
+                    dwt::DwtWorkspace& ws);
 
   std::span<const float> scores() const noexcept { return scores_; }
 

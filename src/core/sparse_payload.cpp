@@ -9,9 +9,11 @@
 
 namespace jwins::core {
 
-EncodedPayload encode_payload(const SparsePayload& payload,
-                              const PayloadOptions& options) {
-  net::ByteWriter writer;
+std::size_t encode_payload_into(const PayloadView& payload,
+                                const PayloadOptions& options,
+                                net::ByteWriter& writer,
+                                compress::BitWriter& bit_scratch) {
+  const std::size_t start = writer.size();
   writer.write_u8(static_cast<std::uint8_t>(options.index_encoding));
   writer.write_u8(static_cast<std::uint8_t>(options.value_encoding));
   writer.write_u32(payload.vector_length);
@@ -28,7 +30,9 @@ EncodedPayload encode_payload(const SparsePayload& payload,
       if (payload.indices.size() != payload.values.size()) {
         throw std::invalid_argument("encode_payload: index/value mismatch");
       }
-      writer.write_bytes(compress::encode_index_gaps(payload.indices));
+      bit_scratch.clear();
+      compress::encode_index_gaps(payload.indices, bit_scratch);
+      writer.write_bytes(bit_scratch.bytes());
       break;
     }
     case IndexEncoding::kRaw:
@@ -42,69 +46,87 @@ EncodedPayload encode_payload(const SparsePayload& payload,
       writer.write_u64(options.seed);
       break;
   }
-  const std::size_t metadata_bytes = writer.size();
+  const std::size_t metadata_bytes = writer.size() - start;
 
   switch (options.value_encoding) {
     case ValueEncoding::kXorCodec:
-      writer.write_bytes(compress::compress_floats(payload.values));
+      bit_scratch.clear();
+      compress::compress_floats(payload.values, bit_scratch);
+      writer.write_bytes(bit_scratch.bytes());
       break;
     case ValueEncoding::kRaw:
       writer.write_f32_array(payload.values);
       break;
   }
+  return metadata_bytes;
+}
 
+EncodedPayload encode_payload(const SparsePayload& payload,
+                              const PayloadOptions& options) {
+  net::ByteWriter writer;
+  compress::BitWriter bit_scratch;
   EncodedPayload out;
+  out.metadata_bytes =
+      encode_payload_into(payload, options, writer, bit_scratch);
   out.body = std::move(writer).take();
-  out.metadata_bytes = metadata_bytes;
   return out;
 }
 
-SparsePayload decode_payload(std::span<const std::uint8_t> body) {
+void decode_payload_into(std::span<const std::uint8_t> body,
+                         SparsePayload& out, Arena& arena) {
   net::ByteReader reader(body);
   const auto index_mode = static_cast<IndexEncoding>(reader.read_u8());
   const auto value_mode = static_cast<ValueEncoding>(reader.read_u8());
-  SparsePayload payload;
-  payload.vector_length = reader.read_u32();
+  out.vector_length = reader.read_u32();
   const std::uint32_t count = reader.read_u32();
+  out.indices.clear();
+  out.values.clear();
 
   switch (index_mode) {
     case IndexEncoding::kDense:
-      if (count != payload.vector_length) {
+      if (count != out.vector_length) {
         throw std::runtime_error("decode_payload: dense count mismatch");
       }
       break;
     case IndexEncoding::kEliasGamma: {
-      const auto blob = reader.read_bytes();
-      payload.indices = compress::decode_index_gaps(blob, count);
+      // View, not copy: the blob stays in the (refcounted) message body.
+      const std::span<const std::uint8_t> blob = reader.view_bytes();
+      compress::decode_index_gaps_into(blob, count, out.indices);
       break;
     }
     case IndexEncoding::kRaw:
-      payload.indices = reader.read_u32_array();
-      if (payload.indices.size() != count) {
+      reader.read_u32_array_into(out.indices);
+      if (out.indices.size() != count) {
         throw std::runtime_error("decode_payload: raw index count mismatch");
       }
       break;
     case IndexEncoding::kSeed: {
       const std::uint64_t seed = reader.read_u64();
-      payload.indices =
-          compress::random_indices(payload.vector_length, count, seed);
+      compress::random_indices_into(out.vector_length, count, seed,
+                                    out.indices, arena);
       break;
     }
   }
 
   switch (value_mode) {
     case ValueEncoding::kXorCodec: {
-      const auto blob = reader.read_bytes();
-      payload.values = compress::decompress_floats(blob, count);
+      const std::span<const std::uint8_t> blob = reader.view_bytes();
+      compress::decompress_floats_into(blob, count, out.values);
       break;
     }
     case ValueEncoding::kRaw:
-      payload.values = reader.read_f32_array();
+      reader.read_f32_array_into(out.values);
       break;
   }
-  if (payload.values.size() != count) {
+  if (out.values.size() != count) {
     throw std::runtime_error("decode_payload: value count mismatch");
   }
+}
+
+SparsePayload decode_payload(std::span<const std::uint8_t> body) {
+  SparsePayload payload;
+  Arena arena;
+  decode_payload_into(body, payload, arena);
   return payload;
 }
 
@@ -117,6 +139,20 @@ net::Message make_message(std::uint32_t sender, std::uint32_t round,
   msg.round = round;
   msg.body = std::move(encoded.body);
   msg.metadata_bytes = encoded.metadata_bytes;
+  return msg;
+}
+
+net::Message make_message(std::uint32_t sender, std::uint32_t round,
+                          const PayloadView& payload,
+                          const PayloadOptions& options, net::BufferPool& pool,
+                          compress::BitWriter& bit_scratch) {
+  net::ByteWriter writer(pool.acquire());
+  net::Message msg;
+  msg.sender = sender;
+  msg.round = round;
+  msg.metadata_bytes =
+      encode_payload_into(payload, options, writer, bit_scratch);
+  msg.body = pool.adopt(std::move(writer).take());
   return msg;
 }
 

@@ -24,7 +24,13 @@
 #include <span>
 #include <vector>
 
+#include "compress/bitstream.hpp"
+#include "core/arena.hpp"
 #include "net/network.hpp"
+
+namespace jwins::net {
+class ByteWriter;
+}
 
 namespace jwins::core {
 
@@ -48,6 +54,25 @@ struct SparsePayload {
   bool dense() const noexcept { return indices.empty(); }
 };
 
+/// Non-owning view of a payload — what the zero-copy encoder consumes. A
+/// sender points this at whatever already holds the data (node members,
+/// arena spans) instead of copying indices/values into a SparsePayload
+/// first. Converts implicitly from SparsePayload.
+struct PayloadView {
+  std::uint32_t vector_length = 0;
+  std::span<const std::uint32_t> indices;
+  std::span<const float> values;
+
+  PayloadView() = default;
+  PayloadView(std::uint32_t length, std::span<const std::uint32_t> idx,
+              std::span<const float> vals)
+      : vector_length(length), indices(idx), values(vals) {}
+  PayloadView(const SparsePayload& p)  // NOLINT(google-explicit-*)
+      : vector_length(p.vector_length), indices(p.indices), values(p.values) {}
+
+  bool dense() const noexcept { return indices.empty(); }
+};
+
 struct PayloadOptions {
   IndexEncoding index_encoding = IndexEncoding::kEliasGamma;
   ValueEncoding value_encoding = ValueEncoding::kXorCodec;
@@ -65,13 +90,37 @@ struct EncodedPayload {
 EncodedPayload encode_payload(const SparsePayload& payload,
                               const PayloadOptions& options);
 
+/// Zero-copy encode: serializes `payload` by appending to `writer` (point
+/// the writer at a pooled send buffer for an allocation-free hot path).
+/// `bit_scratch` is cleared and reused for the Elias/XOR sections. Returns
+/// the metadata byte count (bytes written before the value section).
+/// Byte-identical to encode_payload().
+std::size_t encode_payload_into(const PayloadView& payload,
+                                const PayloadOptions& options,
+                                net::ByteWriter& writer,
+                                compress::BitWriter& bit_scratch);
+
 /// Parses a payload produced by encode_payload. For kSeed the index set is
 /// regenerated, so the result always carries explicit indices unless dense.
 SparsePayload decode_payload(std::span<const std::uint8_t> body);
+
+/// Zero-copy decode: compressed sections are read as views into `body` (no
+/// blob copies) and results land in `out`'s reused buffers; `arena` backs
+/// the kSeed membership flags. Identical results to decode_payload().
+void decode_payload_into(std::span<const std::uint8_t> body,
+                         SparsePayload& out, Arena& arena);
 
 /// Convenience: wraps an encoded payload into a network message.
 net::Message make_message(std::uint32_t sender, std::uint32_t round,
                           const SparsePayload& payload,
                           const PayloadOptions& options);
+
+/// Hot-path variant: encodes into a buffer from `pool`, so the message body
+/// storage is recycled round over round and fan-out to d neighbors shares
+/// one refcounted buffer instead of d copies.
+net::Message make_message(std::uint32_t sender, std::uint32_t round,
+                          const PayloadView& payload,
+                          const PayloadOptions& options, net::BufferPool& pool,
+                          compress::BitWriter& bit_scratch);
 
 }  // namespace jwins::core

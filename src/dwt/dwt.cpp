@@ -88,6 +88,12 @@ DwtPlan::DwtPlan(Wavelet wavelet, std::size_t input_length, std::size_t levels)
 
 void DwtPlan::forward_into(std::span<const float> input,
                            std::span<float> coeffs) const {
+  DwtWorkspace ws;
+  forward_into(input, coeffs, ws);
+}
+
+void DwtPlan::forward_into(std::span<const float> input,
+                           std::span<float> coeffs, DwtWorkspace& ws) const {
   if (input.size() != input_length_) {
     throw std::invalid_argument("DwtPlan::forward: input length mismatch");
   }
@@ -99,22 +105,28 @@ void DwtPlan::forward_into(std::span<const float> input,
     for (std::size_t i = 0; i < input.size(); ++i) coeffs[i] = input[i];
     return;
   }
-  std::vector<float> cur(input.begin(), input.end());
-  std::vector<float> approx;
-  std::vector<float> detail;
+  // Grow-only ping-pong buffers: allocation happens on the first call per
+  // workspace, steady-state calls are heap-free.
+  const std::size_t max_len = level_padded_.front();
+  if (ws.ping.size() < max_len) ws.ping.resize(max_len);
+  if (ws.pong.size() < max_len) ws.pong.resize(max_len);
+  float* cur = ws.ping.data();
+  float* nxt = ws.pong.data();
+  std::copy(input.begin(), input.end(), cur);
   for (std::size_t l = 0; l < nlev; ++l) {
-    cur.resize(level_padded_[l], 0.0f);  // zero-pad odd lengths
-    const std::size_t half = level_padded_[l] / 2;
-    approx.assign(half, 0.0f);
-    detail.assign(half, 0.0f);
-    analyze_level(wavelet_, cur, approx, detail);
-    // Detail of level l+1 lives in band (nlev - l); copy it into place.
+    const std::size_t padded = level_padded_[l];
+    for (std::size_t i = level_in_[l]; i < padded; ++i) cur[i] = 0.0f;
+    const std::size_t half = padded / 2;
+    // Detail of level l+1 lives in band (nlev - l), written in place; the
+    // approximation becomes the next level's input.
     const std::size_t band = nlev - l;
-    const std::size_t boff = band_offsets_[band];
-    for (std::size_t i = 0; i < half; ++i) coeffs[boff + i] = detail[i];
-    cur = approx;
+    analyze_level(wavelet_, std::span<const float>(cur, padded),
+                  std::span<float>(nxt, half),
+                  coeffs.subspan(band_offsets_[band], half));
+    std::swap(cur, nxt);
   }
-  for (std::size_t i = 0; i < cur.size(); ++i) coeffs[i] = cur[i];
+  const std::size_t approx_len = band_offsets_[1];
+  for (std::size_t i = 0; i < approx_len; ++i) coeffs[i] = cur[i];
 }
 
 std::vector<float> DwtPlan::forward(std::span<const float> input) const {
@@ -125,6 +137,12 @@ std::vector<float> DwtPlan::forward(std::span<const float> input) const {
 
 void DwtPlan::inverse_into(std::span<const float> coeffs,
                            std::span<float> output) const {
+  DwtWorkspace ws;
+  inverse_into(coeffs, output, ws);
+}
+
+void DwtPlan::inverse_into(std::span<const float> coeffs,
+                           std::span<float> output, DwtWorkspace& ws) const {
   if (coeffs.size() != coeff_length_) {
     throw std::invalid_argument("DwtPlan::inverse: coeff length mismatch");
   }
@@ -136,18 +154,24 @@ void DwtPlan::inverse_into(std::span<const float> coeffs,
     for (std::size_t i = 0; i < coeffs.size(); ++i) output[i] = coeffs[i];
     return;
   }
-  std::vector<float> cur(coeffs.begin(),
-                         coeffs.begin() + static_cast<std::ptrdiff_t>(band_offsets_[1]));
-  std::vector<float> next;
+  const std::size_t max_len = level_padded_.front();
+  if (ws.ping.size() < max_len) ws.ping.resize(max_len);
+  if (ws.pong.size() < max_len) ws.pong.resize(max_len);
+  float* cur = ws.ping.data();
+  float* nxt = ws.pong.data();
+  const std::size_t approx_len = band_offsets_[1];
+  std::copy(coeffs.begin(),
+            coeffs.begin() + static_cast<std::ptrdiff_t>(approx_len), cur);
   for (std::size_t l = nlev; l-- > 0;) {
     const std::size_t band = nlev - l;
     const std::size_t boff = band_offsets_[band];
-    const std::size_t half = level_padded_[l] / 2;
-    std::span<const float> detail = coeffs.subspan(boff, half);
-    next.assign(level_padded_[l], 0.0f);
-    synthesize_level(wavelet_, cur, detail, next);
-    next.resize(level_in_[l]);  // drop the zero pad
-    cur = next;
+    const std::size_t padded = level_padded_[l];
+    const std::size_t half = padded / 2;
+    // synthesize zeroes its output span first; the next level reads only
+    // level_in_[l] samples, which drops the zero pad implicitly.
+    synthesize_level(wavelet_, std::span<const float>(cur, half),
+                     coeffs.subspan(boff, half), std::span<float>(nxt, padded));
+    std::swap(cur, nxt);
   }
   for (std::size_t i = 0; i < input_length_; ++i) output[i] = cur[i];
 }

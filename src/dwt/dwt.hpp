@@ -29,6 +29,16 @@ void analyze_level(const Wavelet& w, std::span<const float> input,
 void synthesize_level(const Wavelet& w, std::span<const float> approx,
                       std::span<const float> detail, std::span<float> output);
 
+/// Reusable ping-pong buffers for multi-level transforms. A workspace is
+/// plan-agnostic: DwtPlan grows it on first use (to the plan's outermost
+/// padded length) and never shrinks it, so one workspace per worker serves
+/// every plan and steady-state transforms allocate nothing. Not shareable
+/// across concurrent calls.
+struct DwtWorkspace {
+  std::vector<float> ping;
+  std::vector<float> pong;
+};
+
 /// A reusable multi-level transform plan for a fixed input length.
 ///
 /// JWINS transforms the (flattened) model vector every round, so the plan is
@@ -53,8 +63,15 @@ class DwtPlan {
   std::vector<float> forward(std::span<const float> input) const;
 
   /// In-place-style forward into a caller-provided buffer of coeff_length().
+  /// Allocates a transient workspace; see the DwtWorkspace overload for the
+  /// allocation-free hot path.
   void forward_into(std::span<const float> input,
                     std::span<float> coeffs) const;
+
+  /// Scratch variant: all per-level temporaries live in `ws` (grown on first
+  /// use, reused afterwards). Bit-identical to forward_into(input, coeffs).
+  void forward_into(std::span<const float> input, std::span<float> coeffs,
+                    DwtWorkspace& ws) const;
 
   /// Inverse transform. `coeffs.size()` must equal coeff_length().
   std::vector<float> inverse(std::span<const float> coeffs) const;
@@ -62,6 +79,10 @@ class DwtPlan {
   /// Inverse into a caller-provided buffer of input_length().
   void inverse_into(std::span<const float> coeffs,
                     std::span<float> output) const;
+
+  /// Scratch variant of inverse_into (see forward_into).
+  void inverse_into(std::span<const float> coeffs, std::span<float> output,
+                    DwtWorkspace& ws) const;
 
   /// Decomposition level that owns flat coefficient index `i`:
   /// 0 = final approximation band a_L, 1 = d_L, ..., levels() = d_1.

@@ -1,0 +1,46 @@
+#include "net/buffer.hpp"
+
+namespace jwins::net {
+
+std::vector<std::uint8_t> BufferPool::acquire() {
+  std::lock_guard<std::mutex> lock(state_->mutex);
+  if (state_->free.empty()) return {};
+  std::vector<std::uint8_t> out = std::move(state_->free.back());
+  state_->free.pop_back();
+  out.clear();  // keeps capacity
+  return out;
+}
+
+void BufferPool::release(std::vector<std::uint8_t>&& bytes) {
+  if (bytes.capacity() == 0) return;
+  std::lock_guard<std::mutex> lock(state_->mutex);
+  state_->free.push_back(std::move(bytes));
+}
+
+SharedBytes BufferPool::adopt(std::vector<std::uint8_t>&& bytes) {
+  if (bytes.empty()) {
+    // Nothing to share; recycle the capacity right away.
+    release(std::move(bytes));
+    return SharedBytes();
+  }
+  // The deleter tracks the pool state weakly: bodies that outlive the pool
+  // simply free their storage instead of recycling into a dead free list.
+  std::weak_ptr<State> weak_state = state_;
+  auto deleter = [weak_state](std::vector<std::uint8_t>* v) {
+    if (auto state = weak_state.lock()) {
+      std::lock_guard<std::mutex> lock(state->mutex);
+      state->free.push_back(std::move(*v));
+    }
+    delete v;
+  };
+  std::shared_ptr<const std::vector<std::uint8_t>> shared(
+      new std::vector<std::uint8_t>(std::move(bytes)), std::move(deleter));
+  return SharedBytes(std::move(shared));
+}
+
+std::size_t BufferPool::idle_count() const {
+  std::lock_guard<std::mutex> lock(state_->mutex);
+  return state_->free.size();
+}
+
+}  // namespace jwins::net

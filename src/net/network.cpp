@@ -74,10 +74,16 @@ void Network::send(std::uint32_t to, Message msg) {
 }
 
 std::vector<Message> Network::drain(std::uint32_t node) {
+  std::vector<Message> out;
+  drain_into(node, out);
+  return out;
+}
+
+void Network::drain_into(std::uint32_t node, std::vector<Message>& out) {
   if (node >= mailboxes_.size()) {
     throw std::out_of_range("Network::drain: node out of range");
   }
-  std::vector<Message> out;
+  out.clear();
   {
     std::lock_guard<std::mutex> lock(mailbox_locks_[node]);
     out.swap(mailboxes_[node]);
@@ -93,7 +99,6 @@ std::vector<Message> Network::drain(std::uint32_t node) {
                      return a.round != b.round ? a.round < b.round
                                                : a.sender < b.sender;
                    });
-  return out;
 }
 
 void Network::finish_round(double compute_seconds) {

@@ -11,14 +11,18 @@
 #include <mutex>
 #include <vector>
 
+#include "net/buffer.hpp"
+
 namespace jwins::net {
 
 /// One decentralized-learning message: a serialized body plus accounting of
 /// how many of its bytes are sparsification metadata (index lists, seeds).
+/// The body is an immutable SharedBytes: broadcasting one payload to d
+/// neighbors copies a refcount d times, not the bytes (see net/buffer.hpp).
 struct Message {
   std::uint32_t sender = 0;
   std::uint32_t round = 0;
-  std::vector<std::uint8_t> body;
+  SharedBytes body;
   std::size_t metadata_bytes = 0;  ///< portion of body that is metadata
 
   /// Fixed per-message envelope: sender + round + body length (TCP/framing
@@ -106,12 +110,22 @@ class Network {
   /// order — so aggregation is independent of thread scheduling.
   std::vector<Message> drain(std::uint32_t node);
 
+  /// Reuse variant: swaps the mailbox contents into `out` (cleared first),
+  /// so the receiver's scratch vector and the mailbox circulate their heap
+  /// capacity instead of reallocating every round. Same canonical order.
+  void drain_into(std::uint32_t node, std::vector<Message>& out);
+
   /// Advances the simulated clock by one round: compute phase plus the
   /// communication time implied by this round's per-node send volumes.
   void finish_round(double compute_seconds);
 
   const TrafficMeter& traffic() const noexcept { return meter_; }
   double simulated_seconds() const noexcept { return sim_seconds_; }
+
+  /// Send-buffer pool: senders encode into vectors acquired here, and the
+  /// storage is recycled when the last receiver releases the body. One pool
+  /// per fabric keeps the steady-state round loop free of body allocations.
+  BufferPool& pool() noexcept { return pool_; }
 
  private:
   std::vector<std::vector<Message>> mailboxes_;
@@ -124,6 +138,7 @@ class Network {
   double drop_probability_ = 0.0;
   std::uint64_t drop_seed_ = 0;
   std::uint64_t dropped_ = 0;
+  BufferPool pool_;
 };
 
 }  // namespace jwins::net

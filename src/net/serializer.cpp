@@ -29,25 +29,43 @@ std::vector<std::uint8_t> ByteReader::read_bytes() {
 }
 
 std::vector<float> ByteReader::read_f32_array() {
-  const std::uint32_t n = read_u32();
-  if (remaining() < n * sizeof(float)) {
-    throw std::out_of_range("ByteReader: truncated float array");
-  }
-  std::vector<float> out(n);
-  std::memcpy(out.data(), bytes_.data() + pos_, n * sizeof(float));
-  pos_ += n * sizeof(float);
+  std::vector<float> out;
+  read_f32_array_into(out);
   return out;
 }
 
 std::vector<std::uint32_t> ByteReader::read_u32_array() {
+  std::vector<std::uint32_t> out;
+  read_u32_array_into(out);
+  return out;
+}
+
+std::span<const std::uint8_t> ByteReader::view_bytes() {
+  const std::uint32_t n = read_u32();
+  if (remaining() < n) throw std::out_of_range("ByteReader: truncated blob");
+  const std::span<const std::uint8_t> view = bytes_.subspan(pos_, n);
+  pos_ += n;
+  return view;
+}
+
+void ByteReader::read_f32_array_into(std::vector<float>& out) {
+  const std::uint32_t n = read_u32();
+  if (remaining() < n * sizeof(float)) {
+    throw std::out_of_range("ByteReader: truncated float array");
+  }
+  out.resize(n);
+  std::memcpy(out.data(), bytes_.data() + pos_, n * sizeof(float));
+  pos_ += n * sizeof(float);
+}
+
+void ByteReader::read_u32_array_into(std::vector<std::uint32_t>& out) {
   const std::uint32_t n = read_u32();
   if (remaining() < n * sizeof(std::uint32_t)) {
     throw std::out_of_range("ByteReader: truncated u32 array");
   }
-  std::vector<std::uint32_t> out(n);
+  out.resize(n);
   std::memcpy(out.data(), bytes_.data() + pos_, n * sizeof(std::uint32_t));
   pos_ += n * sizeof(std::uint32_t);
-  return out;
 }
 
 }  // namespace jwins::net

@@ -16,8 +16,22 @@
 namespace jwins::net {
 
 /// Append-only little-endian byte sink.
+///
+/// Hot-path reuse: construct from (or reset() with) a recycled vector — e.g.
+/// one from net::BufferPool::acquire() — and the writer appends into that
+/// storage's existing capacity instead of growing a fresh heap buffer.
 class ByteWriter {
  public:
+  ByteWriter() = default;
+  /// Adopts `storage` as the output buffer (cleared, capacity kept).
+  explicit ByteWriter(std::vector<std::uint8_t> storage)
+      : buffer_(std::move(storage)) {
+    buffer_.clear();
+  }
+
+  /// Drops written bytes but keeps the heap capacity for the next message.
+  void clear() noexcept { buffer_.clear(); }
+
   void write_u8(std::uint8_t v) { buffer_.push_back(v); }
   void write_u16(std::uint16_t v) { write_raw(&v, sizeof v); }
   void write_u32(std::uint32_t v) { write_raw(&v, sizeof v); }
@@ -67,6 +81,16 @@ class ByteReader {
   std::vector<std::uint8_t> read_bytes();
   std::vector<float> read_f32_array();
   std::vector<std::uint32_t> read_u32_array();
+
+  /// Zero-copy variant of read_bytes(): a view into the underlying buffer,
+  /// valid as long as the buffer outlives the reader (message bodies do —
+  /// they are refcounted net::SharedBytes).
+  std::span<const std::uint8_t> view_bytes();
+
+  /// Reuse variants: decode into a caller-owned vector (cleared first), so a
+  /// warmed buffer makes the read allocation-free.
+  void read_f32_array_into(std::vector<float>& out);
+  void read_u32_array_into(std::vector<std::uint32_t>& out);
 
   std::size_t remaining() const noexcept { return bytes_.size() - pos_; }
   bool exhausted() const noexcept { return remaining() == 0; }

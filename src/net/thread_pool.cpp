@@ -11,6 +11,11 @@ namespace {
 // pool's single job slot.
 thread_local bool tls_in_parallel_region = false;
 
+// Lane of the chunk this thread is currently executing. Nested (inline)
+// calls inherit it, so per-lane scratch stays exclusive to one OS thread
+// even through nesting.
+thread_local unsigned tls_current_lane = 0;
+
 }  // namespace
 
 ThreadPool::ThreadPool(unsigned threads) {
@@ -52,12 +57,14 @@ void ThreadPool::worker_loop(unsigned chunk_index) {
     lock.unlock();
     const auto [begin, end] = chunk_range(n, chunk_index, thread_count());
     tls_in_parallel_region = true;
+    tls_current_lane = chunk_index;
     try {
-      if (begin < end) run(ctx, begin, end);
+      if (begin < end) run(ctx, chunk_index, begin, end);
     } catch (...) {
       errors_[chunk_index] = std::current_exception();
     }
     tls_in_parallel_region = false;
+    tls_current_lane = 0;
     lock.lock();
     if (--remaining_ == 0) cv_done_.notify_one();
   }
@@ -67,7 +74,9 @@ void ThreadPool::run_job(std::size_t n, ChunkFn run, void* ctx) {
   if (n == 0) return;
   const unsigned total = thread_count();
   if (total == 1 || n == 1 || tls_in_parallel_region) {
-    run(ctx, 0, n);  // inline: exceptions propagate directly
+    // Inline: exceptions propagate directly. The lane is whatever the
+    // calling thread already executes on (0 outside any pool region).
+    run(ctx, tls_current_lane, 0, n);
     return;
   }
   {
@@ -82,8 +91,9 @@ void ThreadPool::run_job(std::size_t n, ChunkFn run, void* ctx) {
   cv_work_.notify_all();
   const auto [begin, end] = chunk_range(n, 0, total);
   tls_in_parallel_region = true;
+  tls_current_lane = 0;
   try {
-    if (begin < end) run(ctx, begin, end);
+    if (begin < end) run(ctx, 0, begin, end);
   } catch (...) {
     errors_[0] = std::current_exception();
   }

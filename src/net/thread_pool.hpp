@@ -67,9 +67,27 @@ class ThreadPool {
   void parallel_for(std::size_t n, Fn&& fn) {
     using Body = std::remove_reference_t<Fn>;
     run_job(n,
-            [](void* ctx, std::size_t begin, std::size_t end) {
+            [](void* ctx, unsigned, std::size_t begin, std::size_t end) {
               Body& body = *static_cast<Body*>(ctx);
               for (std::size_t i = begin; i < end; ++i) body(i);
+            },
+            &fn);
+  }
+
+  /// Lane-aware variant: runs fn(lane, i), where `lane` identifies the
+  /// execution lane in [0, thread_count()). Two invocations running
+  /// concurrently always see different lanes, so per-lane scratch state
+  /// (e.g. sim::Experiment's core::RoundScratch arenas) is race-free by
+  /// construction. Lane assignment is as deterministic as the chunking: it
+  /// depends only on (n, thread_count), never on scheduling. Nested calls
+  /// run inline on the caller's current lane.
+  template <class Fn>
+  void parallel_for_lane(std::size_t n, Fn&& fn) {
+    using Body = std::remove_reference_t<Fn>;
+    run_job(n,
+            [](void* ctx, unsigned lane, std::size_t begin, std::size_t end) {
+              Body& body = *static_cast<Body*>(ctx);
+              for (std::size_t i = begin; i < end; ++i) body(lane, i);
             },
             &fn);
   }
@@ -88,7 +106,8 @@ class ThreadPool {
   }
 
  private:
-  using ChunkFn = void (*)(void* ctx, std::size_t begin, std::size_t end);
+  using ChunkFn = void (*)(void* ctx, unsigned lane, std::size_t begin,
+                           std::size_t end);
 
   /// Chunk `k` of `chunks` over [0, n): contiguous, sizes differ by <= 1.
   static std::pair<std::size_t, std::size_t> chunk_range(

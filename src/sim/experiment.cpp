@@ -147,6 +147,12 @@ Experiment::Experiment(ExperimentConfig config, nn::ModelFactory factory,
   if (config_.message_drop_probability > 0.0) {
     network_.set_drop(config_.message_drop_probability, config_.seed);
   }
+  // One scratch per execution lane, arena pre-sized from the model so the
+  // very first round already runs without heap growth. Lanes are exclusive
+  // (static chunking), so scratches are never shared between running calls.
+  scratch_.resize(pool_.thread_count());
+  const std::size_t params = nodes_.front()->param_count();
+  for (core::RoundScratch& s : scratch_) s.reserve_for_model(params);
 }
 
 MetricPoint Experiment::evaluate(std::size_t round, double train_loss) {
@@ -197,14 +203,15 @@ ExperimentResult Experiment::run() {
       });
     });
     timed_phase(wall_.share_seconds, [&] {
-      pool_.parallel_for(n, [&](std::size_t i) {
-        nodes_[i]->share(network_, g, weights, static_cast<std::uint32_t>(t));
+      pool_.parallel_for_lane(n, [&](unsigned lane, std::size_t i) {
+        nodes_[i]->share(network_, g, weights, static_cast<std::uint32_t>(t),
+                         scratch_[lane]);
       });
     });
     timed_phase(wall_.aggregate_seconds, [&] {
-      pool_.parallel_for(n, [&](std::size_t i) {
+      pool_.parallel_for_lane(n, [&](unsigned lane, std::size_t i) {
         nodes_[i]->aggregate(network_, g, weights,
-                             static_cast<std::uint32_t>(t));
+                             static_cast<std::uint32_t>(t), scratch_[lane]);
       });
     });
     network_.finish_round(config_.compute_seconds_per_round);

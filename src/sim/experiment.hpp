@@ -27,6 +27,7 @@
 #include "algo/jwins_node.hpp"
 #include "algo/power_gossip.hpp"
 #include "algo/random_sampling.hpp"
+#include "core/scratch.hpp"
 #include "data/partition.hpp"
 #include "graph/graph.hpp"
 #include "net/network.hpp"
@@ -152,6 +153,10 @@ class Experiment {
   std::unique_ptr<graph::TopologyProvider> topology_;
   net::Network network_;
   net::ThreadPool pool_;  ///< workers live as long as the Experiment
+  /// One round scratch per execution lane, sized once from the model; the
+  /// share/aggregate phases hand lane k's scratch to every node that lane
+  /// processes (see docs/PERFORMANCE.md "Memory model of the round loop").
+  std::vector<core::RoundScratch> scratch_;
   std::vector<std::unique_ptr<algo::DlNode>> nodes_;
   nn::Batch eval_batch_;
   double alpha_sum_ = 0.0;

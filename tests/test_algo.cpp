@@ -48,6 +48,7 @@ Tensor node_init(std::size_t rank) {
 struct Cluster {
   DummyDataset dataset;
   net::Network network;
+  core::RoundScratch scratch;
   graph::Graph graph;
   graph::MixingWeights weights;
   std::vector<std::unique_ptr<DlNode>> nodes;
@@ -70,8 +71,8 @@ struct Cluster {
     for (auto& node : nodes) {
       if (train) node->local_train();
     }
-    for (auto& node : nodes) node->share(network, graph, weights, t);
-    for (auto& node : nodes) node->aggregate(network, graph, weights, t);
+    for (auto& node : nodes) node->share(network, graph, weights, t, scratch);
+    for (auto& node : nodes) node->aggregate(network, graph, weights, t, scratch);
     network.finish_round(0.0);
   }
 

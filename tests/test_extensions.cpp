@@ -116,6 +116,7 @@ TEST(ChocoQsgd, ConvergesOnQuadratics) {
   const std::size_t n = 8, dim = 24;
   DummyDataset dataset;
   net::Network network(n);
+  core::RoundScratch scratch;
   std::mt19937 grng(7);
   const graph::Graph g = graph::random_regular(n, 4, grng);
   const graph::MixingWeights weights = graph::metropolis_hastings(g);
@@ -146,8 +147,8 @@ TEST(ChocoQsgd, ConvergesOnQuadratics) {
   }
   auto round = [&](std::uint32_t t) {
     for (auto& node : nodes) node->local_train();
-    for (auto& node : nodes) node->share(network, g, weights, t);
-    for (auto& node : nodes) node->aggregate(network, g, weights, t);
+    for (auto& node : nodes) node->share(network, g, weights, t, scratch);
+    for (auto& node : nodes) node->aggregate(network, g, weights, t, scratch);
   };
   for (std::uint32_t t = 0; t < 300; ++t) round(t);
   for (auto& node : nodes) node->set_learning_rate(0.01f);
@@ -174,7 +175,7 @@ TEST(NetworkDrop, DropsDeterministicFraction) {
       net::Message msg;
       msg.sender = s;
       msg.round = round;
-      msg.body.resize(8);
+      msg.body = net::SharedBytes::zeros(8);
       a.send((s + 1) % 4, msg);
       b.send((s + 1) % 4, msg);
     }
@@ -251,6 +252,7 @@ TEST(JwinsBandStats, TracksSharedBands) {
   const std::size_t n = 4, dim = 64;
   DummyDataset dataset;
   net::Network network(n);
+  core::RoundScratch scratch;
   const graph::Graph g = graph::complete(n);
   const graph::MixingWeights weights = graph::metropolis_hastings(g);
   std::vector<std::unique_ptr<algo::JwinsNode>> nodes;
@@ -272,8 +274,8 @@ TEST(JwinsBandStats, TracksSharedBands) {
   }
   for (std::uint32_t t = 0; t < 10; ++t) {
     for (auto& node : nodes) node->local_train();
-    for (auto& node : nodes) node->share(network, g, weights, t);
-    for (auto& node : nodes) node->aggregate(network, g, weights, t);
+    for (auto& node : nodes) node->share(network, g, weights, t, scratch);
+    for (auto& node : nodes) node->aggregate(network, g, weights, t, scratch);
   }
   const auto& counts = nodes[0]->band_share_counts();
   EXPECT_EQ(counts.size(), 5u);  // a4, d4, d3, d2, d1

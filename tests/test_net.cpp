@@ -56,7 +56,7 @@ TEST(Serializer, TruncatedReadThrows) {
 TEST(Message, WireSizeAndSplit) {
   Message msg;
   msg.sender = 1;
-  msg.body.resize(100);
+  msg.body = SharedBytes::zeros(100);
   msg.metadata_bytes = 30;
   EXPECT_EQ(msg.wire_size(), 100u + Message::kEnvelopeBytes);
   EXPECT_EQ(msg.payload_bytes(), 70u);
@@ -66,7 +66,7 @@ TEST(TrafficMeter, AccumulatesPerNode) {
   TrafficMeter meter(3);
   Message msg;
   msg.sender = 1;
-  msg.body.resize(50);
+  msg.body = SharedBytes::zeros(50);
   msg.metadata_bytes = 10;
   meter.record_send(1, msg);
   meter.record_send(1, msg);
@@ -117,10 +117,10 @@ TEST(Network, RoundTimeUsesSlowestNode) {
   Network net(2, link);
   Message big;
   big.sender = 0;
-  big.body.resize(2000 - Message::kEnvelopeBytes);
+  big.body = SharedBytes::zeros(2000 - Message::kEnvelopeBytes);
   Message small;
   small.sender = 1;
-  small.body.resize(100 - Message::kEnvelopeBytes);
+  small.body = SharedBytes::zeros(100 - Message::kEnvelopeBytes);
   net.send(1, big);
   net.send(0, small);
   net.finish_round(/*compute_seconds=*/1.0);
@@ -138,7 +138,7 @@ TEST(Network, ConcurrentSendsAreSafe) {
     for (int m = 0; m < 50; ++m) {
       Message msg;
       msg.sender = static_cast<std::uint32_t>(sender);
-      msg.body.resize(16);
+      msg.body = SharedBytes::zeros(16);
       net.send(static_cast<std::uint32_t>((sender + 1) % 8), msg);
     }
   });

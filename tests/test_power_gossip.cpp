@@ -39,6 +39,7 @@ std::unique_ptr<QuadraticModel> quad(const Tensor& target, const Tensor& init) {
 struct Pair {
   DummyDataset dataset;
   net::Network network{2};
+  core::RoundScratch scratch;
   graph::Graph graph = graph::complete(2);
   graph::MixingWeights weights = graph::metropolis_hastings(graph);
   std::unique_ptr<PowerGossipNode> a, b;
@@ -57,10 +58,10 @@ struct Pair {
   void gossip_iteration(std::uint32_t base_round) {
     for (std::uint32_t phase = 0; phase < 2; ++phase) {
       const std::uint32_t r = base_round * 2 + phase;
-      a->share(network, graph, weights, r);
-      b->share(network, graph, weights, r);
-      a->aggregate(network, graph, weights, r);
-      b->aggregate(network, graph, weights, r);
+      a->share(network, graph, weights, r, scratch);
+      b->share(network, graph, weights, r, scratch);
+      a->aggregate(network, graph, weights, r, scratch);
+      b->aggregate(network, graph, weights, r, scratch);
     }
   }
 
@@ -150,6 +151,7 @@ TEST(PowerGossip, MultiNodeConsensusOnQuadratics) {
   const std::size_t n = 8;
   DummyDataset dataset;
   net::Network network(n);
+  core::RoundScratch scratch;
   std::mt19937 grng(9);
   const graph::Graph g = graph::random_regular(n, 4, grng);
   const graph::MixingWeights weights = graph::metropolis_hastings(g);
@@ -174,8 +176,8 @@ TEST(PowerGossip, MultiNodeConsensusOnQuadratics) {
   auto run_rounds = [&](std::uint32_t from, std::uint32_t to) {
     for (std::uint32_t t = from; t < to; ++t) {
       for (auto& node : nodes) node->local_train();
-      for (auto& node : nodes) node->share(network, g, weights, t);
-      for (auto& node : nodes) node->aggregate(network, g, weights, t);
+      for (auto& node : nodes) node->share(network, g, weights, t, scratch);
+      for (auto& node : nodes) node->aggregate(network, g, weights, t, scratch);
     }
   };
   run_rounds(0, 400);
