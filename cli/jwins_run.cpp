@@ -2,10 +2,12 @@
 //
 //   jwins_run <file.scenario> [options]
 //
-// Loads a .scenario spec (docs/EXPERIMENTS.md is the key reference), expands
+// Loads a .scenario spec (docs/EXPERIMENTS.md is the key reference; the
+// simulated-time & fault keys are specified in docs/SIMULATION.md), expands
 // its sweep lists into a run grid, executes every cell, streams per-run
 // progress to the console, and writes one JSON (full metric series, traffic
-// split, per-phase wall-clock) plus one CSV (the series) per run, and a
+// split, per-phase wall-clock, and — for heterogeneous/faulty time models —
+// the simulated compute/comm split) plus one CSV (the series) per run, and a
 // grid.json index — so downstream plotting needs no C++.
 //
 // Options:
@@ -32,6 +34,7 @@
 
 #include "config/runner.hpp"
 #include "config/scenario.hpp"
+#include "net/time_model.hpp"
 #include "sim/report.hpp"
 
 namespace {
@@ -78,6 +81,11 @@ std::string describe(const config::ScenarioRun& run) {
                      " topology=" + run.topology;
   if (run.churn_every > 0) {
     text += " churn_every=" + std::to_string(run.churn_every);
+  }
+  if (run.config.time.extended()) {
+    // Heterogeneous/faulty time model: results carry the sim_time JSON
+    // block; the per-run summary line prints the simulated phase split.
+    text += " time-model=extended";
   }
   return text;
 }
@@ -180,6 +188,13 @@ int main(int argc, char** argv) {
   for (const config::ScenarioRun& run : runs) {
     std::cout << "[" << run.index + 1 << "/" << runs.size() << "] "
               << run.label << "  (" << describe(run) << ")" << std::endl;
+    if (run.config.time.extended()) {
+      // Same construction the Experiment performs, so the printed summary
+      // (drawn straggler count included) matches the run exactly.
+      const net::TimeModel model(run.nodes, run.config.link, run.config.time,
+                                 run.config.seed);
+      std::cout << "    time model: " << model.describe() << "\n";
+    }
     const sim::ExperimentResult result = config::execute(run);
     std::cout << "    acc=" << std::fixed << std::setprecision(1)
               << result.final_accuracy * 100.0 << "%  loss="
@@ -190,6 +205,16 @@ int main(int argc, char** argv) {
                                        : result.series.back().avg_bytes_per_node)
               << "  sim-time=" << sim::format_seconds(result.sim_seconds)
               << (result.reached_target ? "  [reached target]" : "") << "\n";
+    if (result.sim_time.extended) {
+      const sim::SimTimeBreakdown& st = result.sim_time;
+      std::cout << "    sim: compute=" << sim::format_seconds(st.compute_seconds)
+                << "  comm=" << sim::format_seconds(st.comm_seconds)
+                << "  dropped=" << st.dropped_total << " (iid=" << st.dropped_iid
+                << " edge=" << st.dropped_edge << " burst=" << st.dropped_burst
+                << " crash=" << st.dropped_crash << ")"
+                << "  crashed-rounds=" << st.crashed_node_rounds
+                << "  stragglers=" << st.stragglers << "\n";
+    }
 
     if (!write_files) continue;
     char prefix[16];

@@ -4,7 +4,11 @@
 // "auto" learning rate) is translated into constructor wiring, so a scenario
 // file and a hand-written bench that agree on the knobs produce bit-identical
 // results (the golden-file test in tests/test_config.cpp holds this to the
-// pre-refactor bench wiring).
+// pre-refactor bench wiring). The simulated-time & fault keys
+// (bandwidth_dist, straggler_*, edge_drop, crash_*/rejoin_at, burst_*) need
+// no translation here: they land in ExperimentConfig::time verbatim and the
+// Experiment builds the net::TimeModel from them, seeded by config.seed
+// (docs/SIMULATION.md).
 #pragma once
 
 #include <memory>

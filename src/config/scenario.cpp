@@ -5,6 +5,7 @@
 #include <fstream>
 #include <functional>
 #include <sstream>
+#include <tuple>
 
 #include "core/cutoff.hpp"
 
@@ -133,6 +134,92 @@ core::RandomizedCutoff parse_cutoff(const std::string& key,
   }
   fail(key, "unknown cutoff \"" + value +
                 "\" (valid: paper, fixed:<alpha>, two-point:<alpha_low>:<p_full>)");
+}
+
+/// Link-parameter distribution grammar (colon-separated, like the cutoff
+/// spec, so sweep commas stay unambiguous):
+///   fixed                         every edge uses the flat knob
+///   uniform:<lo>:<hi>             per-edge value uniform in [lo, hi]
+///   lognormal:<median>:<sigma>    median * exp(sigma * N(0,1)) per edge
+/// Values are in display units (Mbit/s for bandwidth, ms for latency);
+/// `unit_scale` converts to engine units (bytes/sec, seconds).
+net::LinkDist parse_link_dist(const std::string& key, const std::string& value,
+                              double unit_scale, bool allow_zero) {
+  net::LinkDist dist;
+  if (value == "fixed") return dist;
+  const auto field = [&](std::string_view text, const char* what) {
+    double v = 0.0;
+    if (!parse_full(text, v) || !std::isfinite(v) || v < 0.0) {
+      fail(key, std::string(what) + " must be a non-negative number (got \"" +
+                    std::string(text) + "\")");
+    }
+    return v;
+  };
+  const auto two_fields = [&](std::string_view rest, const char* a_name,
+                              const char* b_name) {
+    const auto colon = rest.find(':');
+    if (colon == std::string_view::npos) {
+      fail(key, std::string("needs two fields: <") + a_name + ">:<" + b_name +
+                    ">");
+    }
+    return std::pair<double, double>{field(rest.substr(0, colon), a_name),
+                                     field(rest.substr(colon + 1), b_name)};
+  };
+  const std::string_view sv = value;
+  if (sv.rfind("uniform:", 0) == 0) {
+    dist.kind = net::LinkDist::Kind::kUniform;
+    std::tie(dist.a, dist.b) = two_fields(sv.substr(8), "lo", "hi");
+    if (dist.b < dist.a) fail(key, "uniform needs lo <= hi");
+    if (!allow_zero && dist.a <= 0.0) fail(key, "uniform lo must be > 0");
+    dist.a *= unit_scale;
+    dist.b *= unit_scale;
+    return dist;
+  }
+  if (sv.rfind("lognormal:", 0) == 0) {
+    dist.kind = net::LinkDist::Kind::kLognormal;
+    std::tie(dist.a, dist.b) = two_fields(sv.substr(10), "median", "sigma");
+    if (dist.a <= 0.0) fail(key, "lognormal median must be > 0");
+    dist.a *= unit_scale;
+    return dist;
+  }
+  fail(key, "unknown distribution \"" + value +
+                "\" (valid: fixed, uniform:<lo>:<hi>, "
+                "lognormal:<median>:<sigma>)");
+}
+
+/// Per-edge drop grammar: off | fixed:<p> | uniform:<lo>:<hi>, p in [0, 1).
+net::EdgeDropDist parse_edge_drop(const std::string& key,
+                                  const std::string& value) {
+  net::EdgeDropDist dist;
+  if (value == "off") return dist;
+  const auto prob = [&](std::string_view text, const char* what) {
+    double v = 0.0;
+    if (!parse_full(text, v) || !(v >= 0.0) || v >= 1.0) {
+      fail(key, std::string(what) + " must be a probability in [0, 1) (got \"" +
+                    std::string(text) + "\")");
+    }
+    return v;
+  };
+  const std::string_view sv = value;
+  if (sv.rfind("fixed:", 0) == 0) {
+    dist.kind = net::EdgeDropDist::Kind::kFixed;
+    dist.a = prob(sv.substr(6), "fixed:<p> p");
+    return dist;
+  }
+  if (sv.rfind("uniform:", 0) == 0) {
+    const std::string_view rest = sv.substr(8);
+    const auto colon = rest.find(':');
+    if (colon == std::string_view::npos) {
+      fail(key, "uniform needs two fields: uniform:<lo>:<hi>");
+    }
+    dist.kind = net::EdgeDropDist::Kind::kUniform;
+    dist.a = prob(rest.substr(0, colon), "lo");
+    dist.b = prob(rest.substr(colon + 1), "hi");
+    if (dist.b < dist.a) fail(key, "uniform needs lo <= hi");
+    return dist;
+  }
+  fail(key, "unknown drop spec \"" + value +
+                "\" (valid: off, fixed:<p>, uniform:<lo>:<hi>)");
 }
 
 core::IndexEncoding parse_index_encoding(const std::string& key,
@@ -357,6 +444,81 @@ const std::vector<KeySpec>& key_specs() {
           r.config.link.latency_sec = ms / 1000.0;
         });
 
+    // --- simulated time & faults (net/time_model.hpp) --------------------
+    add({"bandwidth_dist", "string", "fixed",
+         "fixed, uniform:<lo>:<hi>, lognormal:<median>:<sigma> (Mbit/s)",
+         "Per-edge bandwidth distribution; any value but fixed switches the "
+         "clock to the critical-path engine (docs/SIMULATION.md)"},
+        [](ScenarioRun& r, const std::string& v) {
+          r.config.time.bandwidth_dist = parse_link_dist(
+              "bandwidth_dist", v, 1e6 / 8.0, /*allow_zero=*/false);
+        });
+    add({"latency_dist", "string", "fixed",
+         "fixed, uniform:<lo>:<hi>, lognormal:<median>:<sigma> (ms)",
+         "Per-edge latency distribution (same grammar as bandwidth_dist)"},
+        [](ScenarioRun& r, const std::string& v) {
+          r.config.time.latency_dist =
+              parse_link_dist("latency_dist", v, 1e-3, /*allow_zero=*/true);
+        });
+    add({"straggler_fraction", "float", "0", "[0, 1)",
+         "Probability each node is a compute straggler (seeded per-node "
+         "decision); takes effect with straggler_slowdown > 1"},
+        [](ScenarioRun& r, const std::string& v) {
+          const double f = parse_double("straggler_fraction", v);
+          if (f < 0.0 || f >= 1.0) {
+            fail("straggler_fraction", "must be in [0, 1)");
+          }
+          r.config.time.straggler_fraction = f;
+        });
+    add({"straggler_slowdown", "float", "1", ">= 1",
+         "Compute-time multiplier applied to straggler nodes"},
+        [](ScenarioRun& r, const std::string& v) {
+          const double s = parse_double("straggler_slowdown", v);
+          if (s < 1.0) fail("straggler_slowdown", "must be >= 1");
+          r.config.time.straggler_slowdown = s;
+        });
+    add({"edge_drop", "string", "off",
+         "off, fixed:<p>, uniform:<lo>:<hi> with probabilities in [0, 1)",
+         "Per-edge message-drop probability (drawn once per edge for "
+         "uniform), on top of message_drop_probability"},
+        [](ScenarioRun& r, const std::string& v) {
+          r.config.time.edge_drop = parse_edge_drop("edge_drop", v);
+        });
+    add({"crash_nodes", "uint", "0 (off)", "< nodes",
+         "Number of nodes that crash (seeded deterministic victim choice)"},
+        [](ScenarioRun& r, const std::string& v) {
+          r.config.time.crash_nodes = parse_uint("crash_nodes", v);
+        });
+    add({"crash_at", "uint", "0", "any",
+         "First round the crash set is down (with crash_nodes > 0)"},
+        [](ScenarioRun& r, const std::string& v) {
+          r.config.time.crash_at = parse_uint("crash_at", v);
+        });
+    add({"rejoin_at", "uint", "0 (never)", "0, or > crash_at",
+         "Round at which crashed nodes come back (their models resume from "
+         "the pre-crash state)"},
+        [](ScenarioRun& r, const std::string& v) {
+          r.config.time.rejoin_at = parse_uint("rejoin_at", v);
+        });
+    add({"burst_every", "uint", "0 (off)", "any",
+         "Correlated burst outages: a window opens every N rounds (first at "
+         "round N)"},
+        [](ScenarioRun& r, const std::string& v) {
+          r.config.time.burst_every = parse_uint("burst_every", v);
+        });
+    add({"burst_length", "uint", "1", ">= 1, <= burst_every",
+         "Rounds each burst-outage window lasts"},
+        [](ScenarioRun& r, const std::string& v) {
+          r.config.time.burst_length = parse_uint("burst_length", v, 1);
+        });
+    add({"burst_drop", "float", "1.0", "(0, 1]",
+         "Per-message drop probability inside a burst window (1 = total "
+         "outage)"},
+        [](ScenarioRun& r, const std::string& v) {
+          r.config.time.burst_drop =
+              parse_double_in("burst_drop", v, 0.0, 1.0, true, "(0, 1]");
+        });
+
     // --- algorithm knobs -------------------------------------------------
     add({"random_sampling_fraction", "float", "0.37", "(0, 1]",
          "Random-sampling baseline: fraction of parameters shared per round"},
@@ -481,6 +643,13 @@ void validate_cross_field(const ScenarioRun& run) {
     fail("churn_every",
          "churn re-randomizes a random regular graph; set topology = regular "
          "(got topology = " + run.topology + ")");
+  }
+  if (run.config.time.crash_nodes >= run.nodes &&
+      run.config.time.crash_nodes > 0) {
+    fail("crash_nodes",
+         "must leave at least one node alive (got crash_nodes=" +
+             std::to_string(run.config.time.crash_nodes) +
+             ", nodes=" + std::to_string(run.nodes) + ")");
   }
   // The Experiment's own cross-field rules, surfaced with the same
   // "error: <key>: <why>" shape before anything is built.

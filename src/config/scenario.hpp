@@ -3,7 +3,10 @@
 // grid is data, not C++).
 //
 // A `.scenario` file is a flat INI/TOML-subset: `key = value` lines, `#`/`;`
-// comments, no sections, no quoting. Any key except `name` may hold a
+// comments, no sections, no quoting. Spec atoms with internal structure —
+// the cut-off distribution, the link-time distributions, the per-edge drop
+// spec — are colon-separated (`two-point:0.05:0.05`, `lognormal:100:0.75`),
+// so sweep commas stay unambiguous. Any key except `name` may hold a
 // comma-separated sweep list (`algorithm = jwins, choco, full-sharing`);
 // expand_grid() takes the Cartesian product of every sweep list, in file
 // order with the last-listed sweep key varying fastest (odometer order), and

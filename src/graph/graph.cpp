@@ -44,6 +44,18 @@ std::size_t Graph::edge_count() const noexcept {
   return total / 2;
 }
 
+std::vector<std::pair<std::size_t, std::size_t>> Graph::edges() const {
+  std::vector<std::pair<std::size_t, std::size_t>> out;
+  out.reserve(edge_count());
+  for (std::size_t u = 0; u < size(); ++u) {
+    for (const std::size_t v : adjacency_[u]) {
+      if (u < v) out.emplace_back(u, v);
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
 bool Graph::connected() const {
   if (size() == 0) return true;
   std::vector<bool> seen(size(), false);

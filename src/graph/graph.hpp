@@ -8,6 +8,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <random>
+#include <utility>
 #include <vector>
 
 namespace jwins::graph {
@@ -34,6 +35,11 @@ class Graph {
 
   /// Total number of undirected edges.
   std::size_t edge_count() const noexcept;
+
+  /// Canonical undirected edge list: every edge once as (u, v) with u < v,
+  /// sorted ascending. The enumeration order net::TimeModel reports and
+  /// tests iterate per-edge attributes (bandwidth/latency/drop draws) in.
+  std::vector<std::pair<std::size_t, std::size_t>> edges() const;
 
   /// True if every node can reach every other node.
   bool connected() const;

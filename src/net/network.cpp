@@ -3,8 +3,6 @@
 #include <algorithm>
 #include <stdexcept>
 
-#include "core/rng.hpp"
-
 namespace jwins::net {
 
 void TrafficMeter::record_send(std::uint32_t sender, const Message& msg) {
@@ -36,14 +34,6 @@ void TrafficMeter::reset() {
   std::fill(per_node_.begin(), per_node_.end(), NodeTraffic{});
 }
 
-void Network::set_drop(double probability, std::uint64_t seed) {
-  if (probability < 0.0 || probability >= 1.0) {
-    throw std::invalid_argument("Network::set_drop: probability must be in [0, 1)");
-  }
-  drop_probability_ = probability;
-  drop_seed_ = seed;
-}
-
 void Network::send(std::uint32_t to, Message msg) {
   if (to >= mailboxes_.size()) {
     throw std::out_of_range("Network::send: destination out of range");
@@ -52,23 +42,18 @@ void Network::send(std::uint32_t to, Message msg) {
     throw std::out_of_range("Network::send: sender out of range");
   }
   const std::size_t wire = msg.wire_size();
-  bool drop = false;
-  if (drop_probability_ > 0.0) {
-    // SplitMix64 over the (sender, receiver, round, seed) tuple: drop
-    // decisions are deterministic and independent of thread scheduling.
-    const std::uint64_t h =
-        core::mix64(drop_seed_ ^ core::mix64(msg.sender) ^
-                    core::mix64(std::uint64_t{to} << 20) ^
-                    core::mix64(std::uint64_t{msg.round} << 40));
-    drop = static_cast<double>(h) / 18446744073709551616.0 < drop_probability_;
-  }
+  // Failure-injection verdict: pure (hashes logical coordinates only), so
+  // drop decisions are deterministic and independent of thread scheduling.
+  const DropCause cause = time_.drop_cause(msg.sender, to, msg.round);
   {
     std::lock_guard<std::mutex> lock(meter_lock_);
     meter_.record_send(msg.sender, msg);
-    round_bytes_[msg.sender] += wire;
-    if (drop) ++dropped_;
+    time_.record_send(msg.sender, to, wire);
+    time_.count_drop(cause);
   }
-  if (drop) return;  // the bytes left the sender but never arrive
+  if (cause != DropCause::kNone) {
+    return;  // the bytes left the sender but never arrive
+  }
   std::lock_guard<std::mutex> lock(mailbox_locks_[to]);
   mailboxes_[to].push_back(std::move(msg));
 }
@@ -102,10 +87,12 @@ void Network::drain_into(std::uint32_t node, std::vector<Message>& out) {
 }
 
 void Network::finish_round(double compute_seconds) {
-  std::uint64_t max_bytes = 0;
-  for (std::uint64_t b : round_bytes_) max_bytes = std::max(max_bytes, b);
-  sim_seconds_ += compute_seconds + link_.comm_time(max_bytes);
-  std::fill(round_bytes_.begin(), round_bytes_.end(), 0);
+  const TimeModel::RoundTime rt = time_.finish_round(compute_seconds);
+  sim_compute_seconds_ += rt.compute;
+  sim_comm_seconds_ += rt.comm;
+  // Same two doubles, same addition order as the legacy
+  // `compute + comm_time(max_bytes)` expression — bit-identical clocks.
+  sim_seconds_ += rt.compute + rt.comm;
 }
 
 }  // namespace jwins::net

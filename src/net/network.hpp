@@ -3,15 +3,22 @@
 // Substitution for the paper's ZeroMQ-over-TCP deployment: nodes exchange
 // fully serialized byte buffers through per-node mailboxes; a TrafficMeter
 // records payload vs. metadata bytes per node (the split behind Figures 4/9),
-// and a LinkModel converts per-round byte volumes into simulated wall-clock
-// time (the basis of the paper's time-to-accuracy comparisons).
+// and a net::TimeModel (net/time_model.hpp) converts per-round byte volumes
+// into simulated wall-clock time — the basis of the paper's time-to-accuracy
+// comparisons. The TimeModel also owns failure injection (i.i.d. and
+// per-edge message drop, node crash/rejoin, burst outages) and per-edge
+// bandwidth/latency heterogeneity; its default configuration is the flat
+// LinkModel every result before the time-model subsystem was computed under
+// (see docs/SIMULATION.md).
 #pragma once
 
 #include <cstdint>
 #include <mutex>
+#include <stdexcept>
 #include <vector>
 
 #include "net/buffer.hpp"
+#include "net/time_model.hpp"
 
 namespace jwins::net {
 
@@ -67,26 +74,23 @@ class TrafficMeter {
   std::vector<NodeTraffic> per_node_;
 };
 
-/// Simple bandwidth/latency link model: the simulated duration of one
-/// communication phase is max over nodes of (bytes_i / bandwidth + latency)
-/// — nodes communicate in parallel, the slowest link gates the round, as in
-/// a synchronous D-PSGD deployment on a shared cluster.
-struct LinkModel {
-  double bandwidth_bytes_per_sec = 12.5e6;  ///< 100 Mbit/s default
-  double latency_sec = 2e-3;
-
-  double comm_time(std::uint64_t max_node_bytes) const noexcept {
-    return latency_sec +
-           static_cast<double>(max_node_bytes) / bandwidth_bytes_per_sec;
-  }
-};
-
 /// Synchronous mailbox fabric: all sends in round t are visible to receivers
 /// in the same round's aggregate phase (D-PSGD is bulk-synchronous).
 class Network {
  public:
+  /// Flat-link fabric (the legacy constructor every test and bench used).
   Network(std::size_t n, LinkModel link = {})
-      : mailboxes_(n), meter_(n), link_(link) {}
+      : Network(n, TimeModel(n, link)) {}
+
+  /// Fabric over a full time model (heterogeneous links, stragglers,
+  /// crash/burst fault injection — see net/time_model.hpp).
+  Network(std::size_t n, TimeModel time)
+      : mailboxes_(n), meter_(n), time_(std::move(time)) {
+    if (time_.size() != n) {
+      throw std::invalid_argument("Network: time model sized for a different "
+                                  "node count");
+    }
+  }
 
   std::size_t size() const noexcept { return mailboxes_.size(); }
 
@@ -96,10 +100,19 @@ class Network {
   /// reproducible regardless of thread scheduling). Dropped messages still
   /// count as sent bytes — the sender paid for them — and are tallied in
   /// messages_dropped().
-  void set_drop(double probability, std::uint64_t seed);
+  void set_drop(double probability, std::uint64_t seed) {
+    time_.set_iid_drop(probability, seed);
+  }
 
-  /// Messages discarded by failure injection so far.
-  std::uint64_t messages_dropped() const noexcept { return dropped_; }
+  /// Messages discarded by failure injection so far (all causes: i.i.d.,
+  /// per-edge, burst, crash; the TimeModel keeps the per-cause split).
+  std::uint64_t messages_dropped() const noexcept {
+    return time_.dropped_total();
+  }
+
+  /// The simulated clock & fault oracle (per-edge attributes, crash
+  /// schedules, drop statistics).
+  const TimeModel& time_model() const noexcept { return time_; }
 
   /// Queues `msg` for `to` and records traffic against msg.sender.
   /// Thread-safe across concurrent senders.
@@ -116,11 +129,18 @@ class Network {
   void drain_into(std::uint32_t node, std::vector<Message>& out);
 
   /// Advances the simulated clock by one round: compute phase plus the
-  /// communication time implied by this round's per-node send volumes.
+  /// communication time implied by this round's send volumes (per-node
+  /// totals under the flat model, the per-edge critical path under a
+  /// heterogeneous one — see net/time_model.hpp).
   void finish_round(double compute_seconds);
 
   const TrafficMeter& traffic() const noexcept { return meter_; }
   double simulated_seconds() const noexcept { return sim_seconds_; }
+  /// Per-phase split of simulated_seconds() (compute + comm == total).
+  double simulated_compute_seconds() const noexcept {
+    return sim_compute_seconds_;
+  }
+  double simulated_comm_seconds() const noexcept { return sim_comm_seconds_; }
 
   /// Send-buffer pool: senders encode into vectors acquired here, and the
   /// storage is recycled when the last receiver releases the body. One pool
@@ -131,13 +151,11 @@ class Network {
   std::vector<std::vector<Message>> mailboxes_;
   std::vector<std::mutex> mailbox_locks_{mailboxes_.size()};
   TrafficMeter meter_;
-  LinkModel link_;
+  TimeModel time_;
   double sim_seconds_ = 0.0;
-  std::vector<std::uint64_t> round_bytes_{std::vector<std::uint64_t>(mailboxes_.size(), 0)};
+  double sim_compute_seconds_ = 0.0;
+  double sim_comm_seconds_ = 0.0;
   std::mutex meter_lock_;
-  double drop_probability_ = 0.0;
-  std::uint64_t drop_seed_ = 0;
-  std::uint64_t dropped_ = 0;
   BufferPool pool_;
 };
 

@@ -1,0 +1,380 @@
+#include "net/time_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+#include "core/rng.hpp"
+
+namespace jwins::net {
+
+namespace {
+
+// Stream tags separating the model's independent random draws (see
+// core::derive_seed). Decision salts fold the round in so per-message dice
+// are fresh each round while per-edge attributes stay fixed.
+constexpr std::uint64_t kSaltBandwidth = 0xB12D;
+constexpr std::uint64_t kSaltLatency = 0x1A7E;
+constexpr std::uint64_t kSaltEdgeDrop = 0xED12;
+constexpr std::uint64_t kSaltStraggler = 0x57A6;
+constexpr std::uint64_t kSaltCrash = 0xC2A5;
+constexpr std::uint64_t kSaltEdgeDecision = 0xED0D;
+constexpr std::uint64_t kSaltBurstDecision = 0xB025;
+constexpr std::uint64_t kSaltPhase = 0x9E37;
+
+/// Uniform double in [0, 1) from a mixed 64-bit hash: the top 53 bits scaled
+/// down. Platform-independent (no <random> involved), so every distribution
+/// draw in this file is reproducible across standard libraries too.
+double u01(std::uint64_t h) noexcept {
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+}  // namespace
+
+bool TimeModelConfig::heterogeneous_time() const noexcept {
+  return !bandwidth_dist.is_base() || !latency_dist.is_base() ||
+         (straggler_fraction > 0.0 && straggler_slowdown != 1.0);
+}
+
+bool TimeModelConfig::any_faults() const noexcept {
+  return !edge_drop.is_off() || crash_nodes > 0 || burst_every > 0;
+}
+
+std::vector<std::string> TimeModelConfig::validate() const {
+  std::vector<std::string> errors;
+  auto require = [&](bool ok, const char* message) {
+    if (!ok) errors.emplace_back(message);
+  };
+  auto check_dist = [&](const LinkDist& d, const char* key, bool allow_zero) {
+    if (d.kind == LinkDist::Kind::kUniform) {
+      const bool lo_ok = allow_zero ? d.a >= 0.0 : d.a > 0.0;
+      if (!(lo_ok && d.b >= d.a && std::isfinite(d.b))) {
+        errors.emplace_back(std::string(key) + ": uniform needs " +
+                            (allow_zero ? "0 <= lo <= hi" : "0 < lo <= hi"));
+      }
+    } else if (d.kind == LinkDist::Kind::kLognormal) {
+      if (!(d.a > 0.0 && d.b >= 0.0 && std::isfinite(d.a) &&
+            std::isfinite(d.b))) {
+        errors.emplace_back(std::string(key) +
+                            ": lognormal needs median > 0 and sigma >= 0");
+      }
+    }
+  };
+  check_dist(bandwidth_dist, "bandwidth_dist", /*allow_zero=*/false);
+  check_dist(latency_dist, "latency_dist", /*allow_zero=*/true);
+  require(straggler_fraction >= 0.0 && straggler_fraction < 1.0,
+          "straggler_fraction: must be in [0, 1)");
+  require(straggler_slowdown >= 1.0,
+          "straggler_slowdown: must be >= 1 (a compute-time multiplier)");
+  if (edge_drop.kind == EdgeDropDist::Kind::kFixed) {
+    require(edge_drop.a >= 0.0 && edge_drop.a < 1.0,
+            "edge_drop: fixed probability must be in [0, 1)");
+  } else if (edge_drop.kind == EdgeDropDist::Kind::kUniform) {
+    require(edge_drop.a >= 0.0 && edge_drop.b >= edge_drop.a &&
+                edge_drop.b < 1.0,
+            "edge_drop: uniform needs 0 <= lo <= hi < 1");
+  }
+  require(rejoin_at == 0 || rejoin_at > crash_at,
+          "rejoin_at: must be 0 (never) or > crash_at");
+  require(burst_length >= 1, "burst_length: must be >= 1");
+  require(burst_every == 0 || burst_length <= burst_every,
+          "burst_length: must be <= burst_every (windows must not overlap)");
+  require(burst_drop > 0.0 && burst_drop <= 1.0,
+          "burst_drop: must be in (0, 1]");
+  return errors;
+}
+
+TimeModel::TimeModel(std::size_t n, LinkModel base, TimeModelConfig config,
+                     std::uint64_t seed)
+    : n_(n),
+      base_(base),
+      config_(std::move(config)),
+      seed_(seed),
+      hetero_time_(config_.heterogeneous_time()),
+      round_edges_(n) {
+  if (config_.crash_nodes >= n && config_.crash_nodes > 0) {
+    throw std::invalid_argument(
+        "crash_nodes: must leave at least one node alive (crash_nodes < "
+        "nodes)");
+  }
+  if (config_.crash_nodes > 0) {
+    // Seeded deterministic victim choice: rank nodes by a per-node hash
+    // (ties by id) and crash the first crash_nodes of that order. Pure
+    // function of (seed, n), so every thread count and every run agrees.
+    std::vector<std::pair<std::uint64_t, std::uint32_t>> order;
+    order.reserve(n);
+    for (std::uint32_t i = 0; i < n; ++i) {
+      order.emplace_back(core::derive_seed(seed_, i, 0, kSaltCrash), i);
+    }
+    std::sort(order.begin(), order.end());
+    crash_set_.assign(n, false);
+    for (std::size_t k = 0; k < config_.crash_nodes; ++k) {
+      crash_set_[order[k].second] = true;
+    }
+  }
+}
+
+double TimeModel::edge_u01(std::uint32_t u, std::uint32_t v,
+                           std::uint64_t salt) const {
+  const std::uint32_t a = std::min(u, v), b = std::max(u, v);
+  return u01(core::derive_seed(seed_, a, b, salt));
+}
+
+double TimeModel::edge_normal(std::uint32_t u, std::uint32_t v,
+                              std::uint64_t salt) const {
+  // Box-Muller over two independent per-edge hashes; the max() guards the
+  // log against a zero draw. Dependency-free, so identical on every stdlib.
+  const double u1 = std::max(edge_u01(u, v, salt), 0x1.0p-60);
+  const double u2 = edge_u01(u, v, salt ^ kSaltPhase);
+  return std::sqrt(-2.0 * std::log(u1)) *
+         std::cos(2.0 * 3.14159265358979323846 * u2);
+}
+
+double TimeModel::draw_link(const LinkDist& dist, double base_value,
+                            std::uint32_t u, std::uint32_t v,
+                            std::uint64_t salt) const {
+  switch (dist.kind) {
+    case LinkDist::Kind::kBase:
+      return base_value;
+    case LinkDist::Kind::kUniform:
+      return dist.a + (dist.b - dist.a) * edge_u01(u, v, salt);
+    case LinkDist::Kind::kLognormal:
+      return dist.a * std::exp(dist.b * edge_normal(u, v, salt));
+  }
+  return base_value;  // unreachable
+}
+
+double TimeModel::edge_bandwidth(std::uint32_t u, std::uint32_t v) const {
+  return draw_link(config_.bandwidth_dist, base_.bandwidth_bytes_per_sec, u, v,
+                   kSaltBandwidth);
+}
+
+double TimeModel::edge_latency(std::uint32_t u, std::uint32_t v) const {
+  return draw_link(config_.latency_dist, base_.latency_sec, u, v,
+                   kSaltLatency);
+}
+
+double TimeModel::edge_drop_probability(std::uint32_t u,
+                                        std::uint32_t v) const {
+  switch (config_.edge_drop.kind) {
+    case EdgeDropDist::Kind::kOff:
+      return 0.0;
+    case EdgeDropDist::Kind::kFixed:
+      return config_.edge_drop.a;
+    case EdgeDropDist::Kind::kUniform:
+      return config_.edge_drop.a +
+             (config_.edge_drop.b - config_.edge_drop.a) *
+                 edge_u01(u, v, kSaltEdgeDrop);
+  }
+  return 0.0;  // unreachable
+}
+
+bool TimeModel::is_straggler(std::uint32_t node) const {
+  // A "straggler" is a node the clock actually slows: with the multiplier
+  // at 1 the fraction knob is inert and nobody is reported as one (the
+  // sim_time block must never claim injection that had no effect).
+  return config_.straggler_fraction > 0.0 &&
+         config_.straggler_slowdown != 1.0 &&
+         u01(core::derive_seed(seed_, node, 0, kSaltStraggler)) <
+             config_.straggler_fraction;
+}
+
+double TimeModel::compute_multiplier(std::uint32_t node) const {
+  return is_straggler(node) ? config_.straggler_slowdown : 1.0;
+}
+
+std::size_t TimeModel::straggler_count() const {
+  std::size_t count = 0;
+  for (std::uint32_t i = 0; i < n_; ++i) {
+    if (is_straggler(i)) ++count;
+  }
+  return count;
+}
+
+bool TimeModel::node_crashes(std::uint32_t node) const {
+  return !crash_set_.empty() && node < crash_set_.size() && crash_set_[node];
+}
+
+bool TimeModel::node_alive(std::uint32_t node, std::size_t round) const {
+  if (!node_crashes(node)) return true;
+  if (round < config_.crash_at) return true;
+  return config_.rejoin_at != 0 && round >= config_.rejoin_at;
+}
+
+bool TimeModel::burst_active(std::size_t round) const {
+  return config_.burst_every > 0 && round >= config_.burst_every &&
+         round % config_.burst_every < config_.burst_length;
+}
+
+void TimeModel::set_iid_drop(double probability, std::uint64_t seed) {
+  if (probability < 0.0 || probability >= 1.0) {
+    throw std::invalid_argument(
+        "Network::set_drop: probability must be in [0, 1)");
+  }
+  iid_drop_probability_ = probability;
+  iid_drop_seed_ = seed;
+}
+
+DropCause TimeModel::drop_cause(std::uint32_t sender, std::uint32_t receiver,
+                                std::uint32_t round) const {
+  if (has_crashes() &&
+      (!node_alive(sender, round) || !node_alive(receiver, round))) {
+    return DropCause::kCrash;
+  }
+  if (burst_active(round)) {
+    if (config_.burst_drop >= 1.0 ||
+        u01(core::derive_seed(
+            seed_, sender,
+            (std::uint64_t{round} << 32) | receiver, kSaltBurstDecision)) <
+            config_.burst_drop) {
+      return DropCause::kBurst;
+    }
+  }
+  if (!config_.edge_drop.is_off()) {
+    const double p = edge_drop_probability(sender, receiver);
+    if (p > 0.0 &&
+        u01(core::derive_seed(
+            seed_, sender,
+            (std::uint64_t{round} << 32) | receiver, kSaltEdgeDecision)) < p) {
+      return DropCause::kEdge;
+    }
+  }
+  if (iid_drop_probability_ > 0.0) {
+    // The original Network lossy-link hash, verbatim: drop decisions of
+    // pre-TimeModel seeded runs are preserved bit for bit.
+    const std::uint64_t h =
+        core::mix64(iid_drop_seed_ ^ core::mix64(sender) ^
+                    core::mix64(std::uint64_t{receiver} << 20) ^
+                    core::mix64(std::uint64_t{round} << 40));
+    if (static_cast<double>(h) / 18446744073709551616.0 <
+        iid_drop_probability_) {
+      return DropCause::kIid;
+    }
+  }
+  return DropCause::kNone;
+}
+
+void TimeModel::record_send(std::uint32_t sender, std::uint32_t receiver,
+                            std::uint64_t wire_bytes) {
+  auto& edges = round_edges_.at(sender);
+  for (auto& [to, bytes] : edges) {
+    if (to == receiver) {
+      bytes += wire_bytes;
+      return;
+    }
+  }
+  edges.emplace_back(receiver, wire_bytes);
+}
+
+void TimeModel::count_drop(DropCause cause) {
+  switch (cause) {
+    case DropCause::kNone: break;
+    case DropCause::kCrash: ++dropped_crash_; break;
+    case DropCause::kBurst: ++dropped_burst_; break;
+    case DropCause::kEdge: ++dropped_edge_; break;
+    case DropCause::kIid: ++dropped_iid_; break;
+  }
+}
+
+TimeModel::RoundTime TimeModel::finish_round(double compute_seconds) {
+  const std::size_t round = round_cursor_++;
+  if (has_crashes()) {
+    for (std::uint32_t i = 0; i < n_; ++i) {
+      if (!node_alive(i, round)) ++crashed_node_rounds_;
+    }
+  }
+  RoundTime rt;
+  if (!hetero_time_) {
+    // Exact legacy reduction: the same uint64 per-node totals and the same
+    // single comm_time() expression the flat LinkModel engine evaluated.
+    rt.compute = compute_seconds;
+    std::uint64_t max_bytes = 0;
+    for (const auto& edges : round_edges_) {
+      std::uint64_t total = 0;
+      for (const auto& [to, bytes] : edges) total += bytes;
+      max_bytes = std::max(max_bytes, total);
+    }
+    rt.comm = base_.comm_time(max_bytes);
+  } else {
+    // Compute phase: the slowest *alive* node gates the bulk-synchronous
+    // round (crashed nodes are not waited for).
+    double compute = 0.0;
+    for (std::uint32_t i = 0; i < n_; ++i) {
+      if (has_crashes() && !node_alive(i, round)) continue;
+      compute = std::max(compute, compute_seconds * compute_multiplier(i));
+    }
+    rt.compute = compute;
+    // Critical path over edges: each sender's messages serialize through its
+    // uplink in send order (one NIC per node), each transferring at its
+    // edge's bandwidth; an edge completes when its queued transfer finishes
+    // plus its own latency. The phase ends when the last edge completes.
+    double comm = 0.0;
+    bool any_edge = false;
+    for (std::uint32_t s = 0; s < n_; ++s) {
+      double queue = 0.0;
+      for (const auto& [to, bytes] : round_edges_[s]) {
+        queue += static_cast<double>(bytes) / edge_bandwidth(s, to);
+        comm = std::max(comm, queue + edge_latency(s, to));
+        any_edge = true;
+      }
+    }
+    // An idle round still pays the synchronization barrier, mirroring the
+    // legacy formula's latency floor.
+    rt.comm = any_edge ? comm : base_.latency_sec;
+  }
+  for (auto& edges : round_edges_) edges.clear();
+  return rt;
+}
+
+std::string TimeModel::describe() const {
+  if (!extended()) return "flat link model";
+  std::ostringstream os;
+  const char* sep = "";
+  auto dist_text = [](const LinkDist& d, double scale, const char* unit) {
+    std::ostringstream s;
+    if (d.kind == LinkDist::Kind::kUniform) {
+      s << "uniform " << d.a * scale << ".." << d.b * scale << ' ' << unit;
+    } else {
+      s << "lognormal median " << d.a * scale << ' ' << unit << " sigma "
+        << d.b;
+    }
+    return s.str();
+  };
+  if (!config_.bandwidth_dist.is_base()) {
+    os << sep << "bandwidth "
+       << dist_text(config_.bandwidth_dist, 8.0 / 1e6, "Mbit/s");
+    sep = ", ";
+  }
+  if (!config_.latency_dist.is_base()) {
+    os << sep << "latency " << dist_text(config_.latency_dist, 1e3, "ms");
+    sep = ", ";
+  }
+  if (config_.straggler_fraction > 0.0 && config_.straggler_slowdown != 1.0) {
+    os << sep << straggler_count() << " straggler(s) x"
+       << config_.straggler_slowdown;
+    sep = ", ";
+  }
+  if (!config_.edge_drop.is_off()) {
+    os << sep << "edge drop ";
+    if (config_.edge_drop.kind == EdgeDropDist::Kind::kFixed) {
+      os << config_.edge_drop.a;
+    } else {
+      os << "uniform " << config_.edge_drop.a << ".." << config_.edge_drop.b;
+    }
+    sep = ", ";
+  }
+  if (config_.crash_nodes > 0) {
+    os << sep << config_.crash_nodes << " crash(es) at round "
+       << config_.crash_at;
+    if (config_.rejoin_at > 0) os << " rejoin " << config_.rejoin_at;
+    sep = ", ";
+  }
+  if (config_.burst_every > 0) {
+    os << sep << "burst outage every " << config_.burst_every << " for "
+       << config_.burst_length << " round(s) p=" << config_.burst_drop;
+  }
+  return os.str();
+}
+
+}  // namespace jwins::net

@@ -64,6 +64,7 @@ std::vector<std::string> ExperimentConfig::validate() const {
           "compute_seconds_per_round: must be >= 0");
   require(link.bandwidth_bytes_per_sec > 0.0, "bandwidth: must be > 0");
   require(link.latency_sec >= 0.0, "latency: must be >= 0");
+  for (std::string& e : time.validate()) errors.push_back(std::move(e));
   require(random_sampling_fraction > 0.0 && random_sampling_fraction <= 1.0,
           "random_sampling_fraction: must be in (0, 1]");
   if (jwins.ranker.use_wavelet) {
@@ -92,7 +93,9 @@ Experiment::Experiment(ExperimentConfig config, nn::ModelFactory factory,
     : config_(std::move(config)),
       test_(&test),
       topology_(std::move(topology)),
-      network_(partition.size(), config_.link),
+      network_(partition.size(),
+               net::TimeModel(partition.size(), config_.link, config_.time,
+                              config_.seed)),
       pool_(config_.threads) {
   const std::size_t n = partition.size();
   if (n == 0) throw std::invalid_argument("Experiment: empty partition");
@@ -159,6 +162,8 @@ MetricPoint Experiment::evaluate(std::size_t round, double train_loss) {
   MetricPoint point;
   point.round = round;
   point.sim_seconds = network_.simulated_seconds();
+  point.sim_compute_seconds = network_.simulated_compute_seconds();
+  point.sim_comm_seconds = network_.simulated_comm_seconds();
   point.train_loss = train_loss;
   const std::size_t limit = config_.eval_node_limit == 0
                                 ? nodes_.size()
@@ -190,6 +195,16 @@ ExperimentResult Experiment::run() {
   ExperimentResult result;
   const std::size_t n = nodes_.size();
   std::vector<float> train_losses(n, 0.0f);
+  // Crash/rejoin fault injection: a node inside its crash window neither
+  // trains nor communicates (its model freezes until rejoin). The check is
+  // a pure function of (node, round), so skipping preserves the bit-exact
+  // determinism contract; with no crash schedule `alive` is always true and
+  // the loop is byte-identical to the fault-free engine.
+  const net::TimeModel& time_model = network_.time_model();
+  const bool crashes = time_model.has_crashes();
+  const auto alive = [&](std::size_t i, std::size_t t) {
+    return !crashes || time_model.node_alive(static_cast<std::uint32_t>(i), t);
+  };
   for (std::size_t t = 0; t < config_.rounds; ++t) {
     const graph::Graph& g = topology_->round_graph(t);
     if (g.size() != n) {
@@ -199,17 +214,20 @@ ExperimentResult Experiment::run() {
 
     timed_phase(wall_.train_seconds, [&] {
       pool_.parallel_for(n, [&](std::size_t i) {
+        if (!alive(i, t)) return;
         train_losses[i] = nodes_[i]->local_train();
       });
     });
     timed_phase(wall_.share_seconds, [&] {
       pool_.parallel_for_lane(n, [&](unsigned lane, std::size_t i) {
+        if (!alive(i, t)) return;
         nodes_[i]->share(network_, g, weights, static_cast<std::uint32_t>(t),
                          scratch_[lane]);
       });
     });
     timed_phase(wall_.aggregate_seconds, [&] {
       pool_.parallel_for_lane(n, [&](unsigned lane, std::size_t i) {
+        if (!alive(i, t)) return;
         nodes_[i]->aggregate(network_, g, weights,
                              static_cast<std::uint32_t>(t), scratch_[lane]);
       });
@@ -225,17 +243,27 @@ ExperimentResult Experiment::run() {
     }
 
     if (config_.algorithm == Algorithm::kJwins) {
-      for (const auto& node : nodes_) {
-        alpha_sum_ += static_cast<algo::JwinsNode&>(*node).last_alpha();
+      for (std::size_t i = 0; i < n; ++i) {
+        if (!alive(i, t)) continue;  // crashed nodes drew no cut-off
+        alpha_sum_ += static_cast<algo::JwinsNode&>(*nodes_[i]).last_alpha();
         ++alpha_samples_;
       }
     }
 
     const bool last_round = (t + 1 == config_.rounds);
     if (t % config_.eval_every == 0 || last_round) {
+      // Mean over the nodes that actually trained this round: a crashed
+      // node's slot holds a stale (or never-written) loss, not a loss of
+      // this round. With no crash schedule this is the plain mean over n.
       double mean_train_loss = 0.0;
-      for (float l : train_losses) mean_train_loss += l;
-      mean_train_loss /= static_cast<double>(n);
+      std::size_t trained = 0;
+      for (std::size_t i = 0; i < n; ++i) {
+        if (!alive(i, t)) continue;
+        mean_train_loss += train_losses[i];
+        ++trained;
+      }
+      mean_train_loss =
+          trained == 0 ? 0.0 : mean_train_loss / static_cast<double>(trained);
       const MetricPoint point = evaluate(t + 1, mean_train_loss);
       result.series.push_back(point);
       if (config_.target_accuracy > 0.0 &&
@@ -255,6 +283,17 @@ ExperimentResult Experiment::run() {
   result.total_traffic = network_.traffic().total();
   result.mean_alpha =
       alpha_samples_ == 0 ? 0.0 : alpha_sum_ / static_cast<double>(alpha_samples_);
+  const net::TimeModel& tm = network_.time_model();
+  result.sim_time.extended = tm.extended();
+  result.sim_time.compute_seconds = network_.simulated_compute_seconds();
+  result.sim_time.comm_seconds = network_.simulated_comm_seconds();
+  result.sim_time.dropped_total = tm.dropped_total();
+  result.sim_time.dropped_iid = tm.dropped_iid();
+  result.sim_time.dropped_edge = tm.dropped_edge();
+  result.sim_time.dropped_burst = tm.dropped_burst();
+  result.sim_time.dropped_crash = tm.dropped_crash();
+  result.sim_time.crashed_node_rounds = tm.crashed_node_rounds();
+  result.sim_time.stragglers = tm.straggler_count();
   wall_.total_seconds +=
       std::chrono::duration<double>(std::chrono::steady_clock::now() - run_start)
           .count();

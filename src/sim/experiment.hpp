@@ -6,9 +6,11 @@
 // bulk-synchronous D-PSGD round loop (train -> share -> aggregate),
 // collecting the metrics the paper reports (paper §IV-B g): average test
 // accuracy/loss across nodes, bytes transferred (payload vs metadata via
-// net::Network's accounting), and simulated wall-clock time. It also owns
-// the cross-cutting protocol knobs — target-accuracy stopping (the
-// Figure 5/6 protocol), learning-rate schedules, message-drop injection,
+// net::Network's accounting), and simulated wall-clock time (net::TimeModel
+// — flat link by default, per-edge heterogeneity/stragglers/faults via
+// ExperimentConfig::time; docs/SIMULATION.md). It also owns the
+// cross-cutting protocol knobs — target-accuracy stopping (the
+// Figure 5/6 protocol), learning-rate schedules, fault injection,
 // and the threaded execution engine (a persistent net::ThreadPool whose
 // static chunking + counter-based per-node RNG streams keep `threads = N`
 // bit-identical to `threads = 1`; see docs/DESIGN.md "Determinism &
@@ -81,8 +83,16 @@ struct ExperimentConfig {
 
   /// Simulated compute cost per round (identical across algorithms; the
   /// paper's compute is dominated by the same tau SGD steps everywhere).
+  /// Straggler multipliers (see `time`) scale this per node.
   double compute_seconds_per_round = 0.05;
   net::LinkModel link;
+
+  /// Heterogeneous link-time & fault-injection configuration (per-edge
+  /// bandwidth/latency distributions, stragglers, crash/rejoin schedules,
+  /// burst outages — net/time_model.hpp, docs/SIMULATION.md). The default
+  /// is the flat `link` model above, under which every result is
+  /// byte-identical to the pre-TimeModel engine.
+  net::TimeModelConfig time;
 
   // Algorithm-specific knobs.
   double random_sampling_fraction = 0.37;
@@ -100,6 +110,9 @@ struct ExperimentConfig {
 struct MetricPoint {
   std::size_t round = 0;
   double sim_seconds = 0.0;
+  /// Per-phase split of sim_seconds (cumulative, compute + comm == total).
+  double sim_compute_seconds = 0.0;
+  double sim_comm_seconds = 0.0;
   double test_accuracy = 0.0;
   double test_loss = 0.0;
   double train_loss = 0.0;
@@ -119,6 +132,23 @@ struct PhaseTimings {
   double total_seconds = 0.0;  ///< whole run(), including bookkeeping
 };
 
+/// Simulated-time & fault summary of a run. `extended` is true when the
+/// experiment configured anything beyond the flat link model; only then does
+/// `sim::write_result_json` emit the "sim_time" block (keeping default-model
+/// JSON byte-identical to the pre-TimeModel engine).
+struct SimTimeBreakdown {
+  bool extended = false;
+  double compute_seconds = 0.0;  ///< cumulative simulated compute phase
+  double comm_seconds = 0.0;     ///< cumulative simulated communication phase
+  std::uint64_t dropped_total = 0;
+  std::uint64_t dropped_iid = 0;
+  std::uint64_t dropped_edge = 0;
+  std::uint64_t dropped_burst = 0;
+  std::uint64_t dropped_crash = 0;
+  std::uint64_t crashed_node_rounds = 0;  ///< sum over rounds of down nodes
+  std::size_t stragglers = 0;             ///< nodes with a compute multiplier
+};
+
 struct ExperimentResult {
   std::vector<MetricPoint> series;
   std::size_t rounds_run = 0;
@@ -128,6 +158,7 @@ struct ExperimentResult {
   double final_loss = 0.0;
   bool reached_target = false;
   double mean_alpha = 0.0;  ///< JWINS only: observed mean sharing fraction
+  SimTimeBreakdown sim_time;
   PhaseTimings wall;        ///< host wall-clock per phase (not simulated)
 };
 

@@ -105,6 +105,33 @@ void write_result_json(std::ostream& os, const std::string& label,
   os << "    \"payload_bytes_sent\": " << t.payload_bytes_sent << ",\n";
   os << "    \"metadata_bytes_sent\": " << t.metadata_bytes_sent << "\n";
   os << "  },\n";
+  // Extended simulated-time block: present only when the run configured
+  // heterogeneity or fault injection beyond the flat link model, so the
+  // default report shape stays byte-identical to the pre-TimeModel engine
+  // (docs/SIMULATION.md "Result JSON").
+  if (result.sim_time.extended) {
+    const SimTimeBreakdown& st = result.sim_time;
+    os << "  \"sim_time\": {\n";
+    os << "    \"compute_seconds\": " << json_number(st.compute_seconds)
+       << ",\n";
+    os << "    \"comm_seconds\": " << json_number(st.comm_seconds) << ",\n";
+    os << "    \"stragglers\": " << st.stragglers << ",\n";
+    os << "    \"crashed_node_rounds\": " << st.crashed_node_rounds << ",\n";
+    os << "    \"messages_dropped\": {\"total\": " << st.dropped_total
+       << ", \"iid\": " << st.dropped_iid << ", \"edge\": " << st.dropped_edge
+       << ", \"burst\": " << st.dropped_burst
+       << ", \"crash\": " << st.dropped_crash << "},\n";
+    os << "    \"series\": [";
+    for (std::size_t i = 0; i < result.series.size(); ++i) {
+      const MetricPoint& p = result.series[i];
+      os << (i == 0 ? "\n" : ",\n");
+      os << "      {\"round\": " << p.round
+         << ", \"compute_seconds\": " << json_number(p.sim_compute_seconds)
+         << ", \"comm_seconds\": " << json_number(p.sim_comm_seconds) << "}";
+    }
+    os << (result.series.empty() ? "]\n" : "\n    ]\n");
+    os << "  },\n";
+  }
   if (include_wall) {
     const PhaseTimings& w = result.wall;
     os << "  \"wall_seconds\": {\n";

@@ -33,11 +33,16 @@ std::string json_string(const std::string& s);
 
 /// Machine-readable result for downstream plotting (the jwins_run CLI's
 /// output format): the full metric series, per-phase host wall-clock, and
-/// the payload/metadata traffic split. The output is deterministic — the
-/// same ExperimentResult always produces the same bytes (doubles are
-/// emitted round-trip exactly via %.17g) — EXCEPT the "wall_seconds" block,
-/// which measures this host; pass include_wall = false when comparing JSON
-/// across runs (the determinism tests do).
+/// the payload/metadata traffic split. Runs under a heterogeneous or
+/// fault-injecting time model additionally carry a "sim_time" block
+/// (simulated compute/comm split, per-cause drop counters, and the
+/// per-evaluation simulated-time series); under the default flat model the
+/// block is omitted so the report shape is unchanged (docs/SIMULATION.md).
+/// The output is deterministic — the same ExperimentResult always produces
+/// the same bytes (doubles are emitted round-trip exactly via %.17g) —
+/// EXCEPT the "wall_seconds" block, which measures this host; pass
+/// include_wall = false when comparing JSON across runs (the determinism
+/// tests do).
 void write_result_json(std::ostream& os, const std::string& label,
                        const ExperimentResult& result,
                        bool include_wall = true);
