@@ -87,6 +87,12 @@ std::string describe(const config::ScenarioRun& run) {
     // block; the per-run summary line prints the simulated phase split.
     text += " time-model=extended";
   }
+  if (run.config.engine == sim::EngineKind::kAsync) {
+    text += " engine=async";
+    if (run.config.staleness_bound > 0) {
+      text += " staleness=" + std::to_string(run.config.staleness_bound);
+    }
+  }
   return text;
 }
 
@@ -214,6 +220,17 @@ int main(int argc, char** argv) {
                 << " crash=" << st.dropped_crash << ")"
                 << "  crashed-rounds=" << st.crashed_node_rounds
                 << "  stragglers=" << st.stragglers << "\n";
+    }
+    if (result.event_engine.enabled) {
+      const sim::EventEngineStats& ee = result.event_engine;
+      std::cout << "    events: processed=" << ee.events_processed
+                << "  max-queue=" << ee.max_queue_depth
+                << "  delivered=" << ee.messages_delivered
+                << "  in-flight=" << ee.messages_in_flight
+                << "  stale=" << ee.messages_stale_dropped
+                << "  overrides=" << ee.staleness_overrides
+                << "  local-steps=" << ee.local_steps_min() << ".."
+                << ee.local_steps_max() << "\n";
     }
 
     if (!write_files) continue;

@@ -519,6 +519,33 @@ const std::vector<KeySpec>& key_specs() {
               parse_double_in("burst_drop", v, 0.0, 1.0, true, "(0, 1]");
         });
 
+    // --- execution engine (sim/event_engine.hpp) -------------------------
+    add({"engine", "enum", "sync", "sync, async",
+         "Execution engine: the bulk-synchronous reference loop, or the "
+         "discrete-event asynchronous scheduler (with staleness_bound = 0 "
+         "the latter reduces byte-for-byte to the former)"},
+        [](ScenarioRun& r, const std::string& v) {
+          expect_enum("engine", v, {"sync", "async"});
+          r.config.engine = v == "async" ? sim::EngineKind::kAsync
+                                         : sim::EngineKind::kSync;
+        });
+    add({"staleness_bound", "uint", "0 (barrier)", "requires engine = async",
+         "Bounded-staleness window B: a node may aggregate round r once it "
+         "has heard every expected neighbor at round r - B or later (0 = "
+         "barrier mode, the exact synchronous reduction)"},
+        [](ScenarioRun& r, const std::string& v) {
+          r.config.staleness_bound = parse_uint("staleness_bound", v);
+        });
+    add({"stop_at_sim_time", "float", "0 (off)", ">= 0 seconds",
+         "Simulated-time budget: stop the run once the simulated clock "
+         "passes this many seconds (the natural termination mode for "
+         "asynchronous runs, where nodes complete different round counts)"},
+        [](ScenarioRun& r, const std::string& v) {
+          const double s = parse_double("stop_at_sim_time", v);
+          if (s < 0.0) fail("stop_at_sim_time", "must be >= 0");
+          r.config.stop_at_sim_time = s;
+        });
+
     // --- algorithm knobs -------------------------------------------------
     add({"random_sampling_fraction", "float", "0.37", "(0, 1]",
          "Random-sampling baseline: fraction of parameters shared per round"},

@@ -54,6 +54,20 @@ void Network::send(std::uint32_t to, Message msg) {
   if (cause != DropCause::kNone) {
     return;  // the bytes left the sender but never arrive
   }
+  if (sink_ != nullptr) {
+    // Event-engine interception: the message survived failure injection and
+    // was fully accounted; the sink decides *when* it lands (deliver()).
+    sink_->on_deliver(to, std::move(msg));
+    return;
+  }
+  std::lock_guard<std::mutex> lock(mailbox_locks_[to]);
+  mailboxes_[to].push_back(std::move(msg));
+}
+
+void Network::deliver(std::uint32_t to, Message msg) {
+  if (to >= mailboxes_.size()) {
+    throw std::out_of_range("Network::deliver: destination out of range");
+  }
   std::lock_guard<std::mutex> lock(mailbox_locks_[to]);
   mailboxes_[to].push_back(std::move(msg));
 }

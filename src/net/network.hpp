@@ -74,6 +74,22 @@ class TrafficMeter {
   std::vector<NodeTraffic> per_node_;
 };
 
+/// Interception point for the discrete-event engine (sim/event_engine.hpp):
+/// when a sink is installed, send() hands every *non-dropped* message to the
+/// sink instead of the destination mailbox, so delivery can be deferred to
+/// the message's simulated arrival time. Drop verdicts, traffic accounting,
+/// and the per-round byte bookkeeping all still happen inside send() — the
+/// sink only sees messages that survive failure injection.
+///
+/// Contract: sink callbacks run inside send() on the sending thread; an
+/// installed sink requires single-threaded senders (the event loop is
+/// sequential). deliver() is how the sink eventually lands a message.
+class DeliverySink {
+ public:
+  virtual ~DeliverySink() = default;
+  virtual void on_deliver(std::uint32_t to, Message msg) = 0;
+};
+
 /// Synchronous mailbox fabric: all sends in round t are visible to receivers
 /// in the same round's aggregate phase (D-PSGD is bulk-synchronous).
 class Network {
@@ -115,8 +131,19 @@ class Network {
   const TimeModel& time_model() const noexcept { return time_; }
 
   /// Queues `msg` for `to` and records traffic against msg.sender.
-  /// Thread-safe across concurrent senders.
+  /// Thread-safe across concurrent senders (unless a DeliverySink is
+  /// installed, which restricts sends to one thread — see DeliverySink).
   void send(std::uint32_t to, Message msg);
+
+  /// Installs (or clears, with nullptr) the delivery interception hook.
+  void set_delivery_sink(DeliverySink* sink) noexcept { sink_ = sink; }
+
+  /// Lands a message in `to`'s mailbox directly: no drop verdict, no
+  /// accounting — those already happened in the send() that produced the
+  /// message. The event engine calls this at the simulated arrival time
+  /// (or at aggregation time, for messages staged in a staleness inbox);
+  /// the canonical (round, sender) drain order still applies.
+  void deliver(std::uint32_t to, Message msg);
 
   /// Drains node i's mailbox (receiver's view of the round). Messages are
   /// returned sorted by (round, sender) — the sequential engine's arrival
@@ -157,6 +184,7 @@ class Network {
   double sim_comm_seconds_ = 0.0;
   std::mutex meter_lock_;
   BufferPool pool_;
+  DeliverySink* sink_ = nullptr;
 };
 
 }  // namespace jwins::net

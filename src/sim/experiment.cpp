@@ -1,5 +1,6 @@
 #include "sim/experiment.hpp"
 
+#include <algorithm>
 #include <chrono>
 #include <cmath>
 #include <stdexcept>
@@ -18,6 +19,14 @@ const char* algorithm_name(Algorithm algorithm) {
     case Algorithm::kJwins: return "jwins";
     case Algorithm::kChoco: return "choco";
     case Algorithm::kPowerGossip: return "power-gossip";
+  }
+  return "unknown";
+}
+
+const char* engine_name(EngineKind kind) {
+  switch (kind) {
+    case EngineKind::kSync: return "sync";
+    case EngineKind::kAsync: return "async";
   }
   return "unknown";
 }
@@ -62,6 +71,12 @@ std::vector<std::string> ExperimentConfig::validate() const {
   require(eval_sample_limit >= 1, "eval_sample_limit: must be >= 1");
   require(compute_seconds_per_round >= 0.0,
           "compute_seconds_per_round: must be >= 0");
+  require(staleness_bound == 0 || engine == EngineKind::kAsync,
+          "staleness_bound: requires engine = async (the synchronous loop "
+          "has no staleness to bound)");
+  require(std::isfinite(stop_at_sim_time) && stop_at_sim_time >= 0.0,
+          "stop_at_sim_time: must be >= 0 (seconds of simulated time; 0 = "
+          "off)");
   require(link.bandwidth_bytes_per_sec > 0.0, "bandwidth: must be > 0");
   require(link.latency_sec >= 0.0, "latency: must be >= 0");
   for (std::string& e : time.validate()) errors.push_back(std::move(e));
@@ -191,6 +206,9 @@ MetricPoint Experiment::evaluate(std::size_t round, double train_loss) {
 }
 
 ExperimentResult Experiment::run() {
+  if (config_.engine == EngineKind::kAsync) {
+    return run_async();  // the discrete-event driver (event_engine.cpp)
+  }
   const auto run_start = std::chrono::steady_clock::now();
   ExperimentResult result;
   const std::size_t n = nodes_.size();
@@ -250,7 +268,14 @@ ExperimentResult Experiment::run() {
       }
     }
 
-    const bool last_round = (t + 1 == config_.rounds);
+    // Simulated-time budget: once the clock passes the budget the round
+    // that crossed it is the last one (it still gets its evaluation below).
+    // Default 0 = off, leaving the loop byte-identical to the budget-free
+    // engine.
+    const bool budget_hit = config_.stop_at_sim_time > 0.0 &&
+                            network_.simulated_seconds() >=
+                                config_.stop_at_sim_time;
+    const bool last_round = (t + 1 == config_.rounds) || budget_hit;
     if (t % config_.eval_every == 0 || last_round) {
       // Mean over the nodes that actually trained this round: a crashed
       // node's slot holds a stale (or never-written) loss, not a loss of
@@ -272,7 +297,17 @@ ExperimentResult Experiment::run() {
         break;
       }
     }
+    if (budget_hit) break;
   }
+  collect_summary(result);
+  wall_.total_seconds +=
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - run_start)
+          .count();
+  result.wall = wall_;
+  return result;
+}
+
+void Experiment::collect_summary(ExperimentResult& result) {
   if (result.series.empty()) {
     result.series.push_back(evaluate(result.rounds_run, 0.0));
   }
@@ -294,11 +329,27 @@ ExperimentResult Experiment::run() {
   result.sim_time.dropped_crash = tm.dropped_crash();
   result.sim_time.crashed_node_rounds = tm.crashed_node_rounds();
   result.sim_time.stragglers = tm.straggler_count();
-  wall_.total_seconds +=
-      std::chrono::duration<double>(std::chrono::steady_clock::now() - run_start)
-          .count();
-  result.wall = wall_;
-  return result;
+}
+
+std::uint64_t EventEngineStats::local_steps_min() const noexcept {
+  std::uint64_t lo = 0;
+  for (std::size_t i = 0; i < local_steps.size(); ++i) {
+    lo = i == 0 ? local_steps[i] : std::min(lo, local_steps[i]);
+  }
+  return lo;
+}
+
+std::uint64_t EventEngineStats::local_steps_max() const noexcept {
+  std::uint64_t hi = 0;
+  for (const std::uint64_t s : local_steps) hi = std::max(hi, s);
+  return hi;
+}
+
+double EventEngineStats::local_steps_mean() const noexcept {
+  if (local_steps.empty()) return 0.0;
+  double sum = 0.0;
+  for (const std::uint64_t s : local_steps) sum += static_cast<double>(s);
+  return sum / static_cast<double>(local_steps.size());
 }
 
 }  // namespace jwins::sim

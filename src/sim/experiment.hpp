@@ -48,6 +48,22 @@ enum class Algorithm {
 
 const char* algorithm_name(Algorithm algorithm);
 
+/// Which execution engine drives the round structure:
+///
+///  * kSync — the bulk-synchronous reference loop (train -> share ->
+///    aggregate in global lockstep rounds), the golden reference every
+///    result so far was produced under;
+///  * kAsync — the discrete-event scheduler (sim/event_engine.hpp): nodes
+///    are state machines advanced by TrainDone / MessageArrival / LocalStep
+///    events, messages arrive when their link says they arrive, and slow
+///    nodes genuinely fall behind. With `staleness_bound == 0` (barrier
+///    mode) it reduces EXACTLY — byte-for-byte result JSON — to kSync under
+///    any TimeModel; a bound B > 0 lets a node run up to B rounds ahead of
+///    its neighbors (docs/SIMULATION.md "Asynchronous engine").
+enum class EngineKind { kSync, kAsync };
+
+const char* engine_name(EngineKind kind);
+
 struct ExperimentConfig {
   Algorithm algorithm = Algorithm::kJwins;
   std::size_t rounds = 100;
@@ -93,6 +109,22 @@ struct ExperimentConfig {
   /// is the flat `link` model above, under which every result is
   /// byte-identical to the pre-TimeModel engine.
   net::TimeModelConfig time;
+
+  /// Execution engine (see EngineKind). The default is the synchronous
+  /// reference loop; every pre-existing result is byte-identical under it.
+  EngineKind engine = EngineKind::kSync;
+
+  /// Bounded-staleness window B for the asynchronous engine: a node may
+  /// aggregate round r once it has heard from every expected neighbor at
+  /// round r - B or later (0 = barrier mode, the exact sync reduction).
+  /// Only meaningful with engine = kAsync; validate() rejects it otherwise.
+  std::size_t staleness_bound = 0;
+
+  /// Simulated-time budget in seconds: stop the run once the simulated
+  /// clock passes this value (0 = off, run to `rounds`). Works under both
+  /// engines; under kAsync it is the natural termination mode for runs
+  /// where nodes complete different round counts.
+  double stop_at_sim_time = 0.0;
 
   // Algorithm-specific knobs.
   double random_sampling_fraction = 0.37;
@@ -149,6 +181,41 @@ struct SimTimeBreakdown {
   std::size_t stragglers = 0;             ///< nodes with a compute multiplier
 };
 
+/// Counters of one asynchronous-engine run (sim/event_engine.hpp).
+/// `enabled` is true whenever the run used EngineKind::kAsync; `extended`
+/// additionally gates the "event_engine" result-JSON block — it is set only
+/// when the run configured genuine asynchrony (staleness_bound > 0) or a
+/// simulated-time budget, so barrier-mode runs keep their JSON byte-identical
+/// to the synchronous engine (the golden-reduction guarantee).
+struct EventEngineStats {
+  bool enabled = false;
+  bool extended = false;
+  std::uint64_t events_processed = 0;
+  std::size_t max_queue_depth = 0;
+  /// Messages that survived failure injection and reached their receiver's
+  /// inbox. sent == delivered + dropped (per-cause) + in_flight.
+  std::uint64_t messages_delivered = 0;
+  /// Arrival events still queued when the run terminated (budget cut).
+  std::uint64_t messages_in_flight = 0;
+  /// Delivered messages discarded unapplied because their round tag had
+  /// fallen below the receiver's staleness window.
+  std::uint64_t messages_stale_dropped = 0;
+  /// Blocked nodes force-unblocked by quiescence detection (the event queue
+  /// drained while staleness gates still held — e.g. the unblocking message
+  /// was lost to failure injection).
+  std::uint64_t staleness_overrides = 0;
+  /// staleness_histogram[s] = messages applied s rounds after the round
+  /// they were produced in (s <= staleness_bound).
+  std::vector<std::uint64_t> staleness_histogram;
+  /// Local rounds completed per node; under stragglers + a budget these
+  /// genuinely diverge (the paper-motivating asynchrony signal).
+  std::vector<std::uint64_t> local_steps;
+
+  std::uint64_t local_steps_min() const noexcept;
+  std::uint64_t local_steps_max() const noexcept;
+  double local_steps_mean() const noexcept;
+};
+
 struct ExperimentResult {
   std::vector<MetricPoint> series;
   std::size_t rounds_run = 0;
@@ -159,8 +226,12 @@ struct ExperimentResult {
   bool reached_target = false;
   double mean_alpha = 0.0;  ///< JWINS only: observed mean sharing fraction
   SimTimeBreakdown sim_time;
+  EventEngineStats event_engine;  ///< async engine only (enabled == false
+                                  ///< under the synchronous engine)
   PhaseTimings wall;        ///< host wall-clock per phase (not simulated)
 };
+
+class EventEngine;
 
 class Experiment {
  public:
@@ -177,7 +248,16 @@ class Experiment {
   const net::Network& network() const noexcept { return network_; }
 
  private:
+  /// The discrete-event driver (sim/event_engine.hpp) runs the same nodes,
+  /// network, and evaluation machinery this class owns.
+  friend class EventEngine;
+
   MetricPoint evaluate(std::size_t round, double train_loss);
+  /// Asynchronous-engine entry point (implemented in event_engine.cpp).
+  ExperimentResult run_async();
+  /// Shared end-of-run bookkeeping: final metrics, traffic totals, and the
+  /// sim_time summary (identical operations under both engines).
+  void collect_summary(ExperimentResult& result);
 
   ExperimentConfig config_;
   const data::Dataset* test_;

@@ -132,6 +132,30 @@ void write_result_json(std::ostream& os, const std::string& label,
     os << (result.series.empty() ? "]\n" : "\n    ]\n");
     os << "  },\n";
   }
+  // Event-engine block: present only when the asynchronous engine ran with
+  // genuine asynchrony (staleness_bound > 0) or a simulated-time budget —
+  // barrier-mode runs keep their JSON byte-identical to the synchronous
+  // engine (the golden-reduction guarantee; sim/event_engine.hpp).
+  if (result.event_engine.extended) {
+    const EventEngineStats& ee = result.event_engine;
+    os << "  \"event_engine\": {\n";
+    os << "    \"events_processed\": " << ee.events_processed << ",\n";
+    os << "    \"max_queue_depth\": " << ee.max_queue_depth << ",\n";
+    os << "    \"messages_delivered\": " << ee.messages_delivered << ",\n";
+    os << "    \"messages_in_flight\": " << ee.messages_in_flight << ",\n";
+    os << "    \"messages_stale_dropped\": " << ee.messages_stale_dropped
+       << ",\n";
+    os << "    \"staleness_overrides\": " << ee.staleness_overrides << ",\n";
+    os << "    \"staleness_histogram\": [";
+    for (std::size_t i = 0; i < ee.staleness_histogram.size(); ++i) {
+      os << (i == 0 ? "" : ", ") << ee.staleness_histogram[i];
+    }
+    os << "],\n";
+    os << "    \"local_steps\": {\"min\": " << ee.local_steps_min()
+       << ", \"max\": " << ee.local_steps_max()
+       << ", \"mean\": " << json_number(ee.local_steps_mean()) << "}\n";
+    os << "  },\n";
+  }
   if (include_wall) {
     const PhaseTimings& w = result.wall;
     os << "  \"wall_seconds\": {\n";

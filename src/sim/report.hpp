@@ -38,6 +38,12 @@ std::string json_string(const std::string& s);
 /// (simulated compute/comm split, per-cause drop counters, and the
 /// per-evaluation simulated-time series); under the default flat model the
 /// block is omitted so the report shape is unchanged (docs/SIMULATION.md).
+/// Runs under the asynchronous event engine with genuine asynchrony
+/// (staleness_bound > 0 or a sim-time budget) likewise carry an
+/// "event_engine" block — event/queue counters, the message conservation
+/// ledger (delivered / in-flight / stale-dropped), the staleness histogram,
+/// and the per-node local-step spread; barrier-mode async runs omit it so
+/// their JSON stays byte-identical to the synchronous engine.
 /// The output is deterministic — the same ExperimentResult always produces
 /// the same bytes (doubles are emitted round-trip exactly via %.17g) —
 /// EXCEPT the "wall_seconds" block, which measures this host; pass

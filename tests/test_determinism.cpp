@@ -25,7 +25,9 @@ struct Scenario {
   double drop_probability = 0.0;
 };
 
-sim::ExperimentResult run_scenario(const Scenario& s, unsigned threads) {
+sim::ExperimentResult run_scenario(const Scenario& s, unsigned threads,
+                                   sim::EngineKind engine =
+                                       sim::EngineKind::kSync) {
   const std::size_t n = 8;
   const sim::Workload w = sim::make_femnist_like(n, 23);
   sim::ExperimentConfig cfg;
@@ -37,6 +39,7 @@ sim::ExperimentResult run_scenario(const Scenario& s, unsigned threads) {
   cfg.eval_sample_limit = 64;
   cfg.threads = threads;
   cfg.seed = 23;
+  cfg.engine = engine;
   cfg.message_drop_probability = s.drop_probability;
   if (s.choco_qsgd) {
     cfg.choco.compressor = algo::ChocoNode::Compressor::kQsgd;
@@ -85,6 +88,37 @@ TEST_P(DeterminismAcrossThreads, ThreadedMatchesSequentialBitForBit) {
   const auto threaded_again = run_scenario(s, 4);
   expect_bit_identical(sequential, threaded, "threads=1 vs threads=4");
   expect_bit_identical(threaded, threaded_again, "threads=4 vs threads=4");
+}
+
+TEST_P(DeterminismAcrossThreads, AsyncBarrierMatchesSyncByteForByte) {
+  // The asynchronous engine's golden reduction (sim/event_engine.hpp):
+  // under staleness_bound = 0 every metric — and the emitted result JSON,
+  // byte for byte — must equal the synchronous reference.
+  const Scenario& s = GetParam();
+  const auto sync = run_scenario(s, 1, sim::EngineKind::kSync);
+  const auto async = run_scenario(s, 1, sim::EngineKind::kAsync);
+  expect_bit_identical(sync, async, "sync vs async barrier");
+  std::ostringstream a, b;
+  sim::write_result_json(a, "determinism/reduction", sync,
+                         /*include_wall=*/false);
+  sim::write_result_json(b, "determinism/reduction", async,
+                         /*include_wall=*/false);
+  EXPECT_EQ(a.str(), b.str());
+}
+
+TEST_P(DeterminismAcrossThreads, AsyncThreadedMatchesSequential) {
+  // The event loop itself is single-threaded; evaluation still uses the
+  // pool. threads=N must stay bit-identical to threads=1 under kAsync.
+  const Scenario& s = GetParam();
+  const auto sequential = run_scenario(s, 1, sim::EngineKind::kAsync);
+  const auto threaded = run_scenario(s, 4, sim::EngineKind::kAsync);
+  expect_bit_identical(sequential, threaded, "async threads=1 vs threads=4");
+  std::ostringstream a, b;
+  sim::write_result_json(a, "determinism/async", sequential,
+                         /*include_wall=*/false);
+  sim::write_result_json(b, "determinism/async", threaded,
+                         /*include_wall=*/false);
+  EXPECT_EQ(a.str(), b.str());
 }
 
 INSTANTIATE_TEST_SUITE_P(

@@ -1,0 +1,781 @@
+// Discrete-event asynchronous engine (sim/event_engine.hpp): queue
+// invariants on hand-computed schedules, uplink-serialization math against
+// the TimeModel's own numbers, the golden barrier-mode reduction to the
+// synchronous reference under every fault/heterogeneity family, genuine
+// bounded-staleness behavior (histogram, stale drops, budget divergence,
+// message conservation), and the sub-round crash semantics both engines pin.
+#include "sim/event_engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <memory>
+#include <random>
+#include <sstream>
+
+#include "graph/graph.hpp"
+#include "net/time_model.hpp"
+#include "sim/experiment.hpp"
+#include "sim/report.hpp"
+#include "test_util.hpp"
+
+namespace jwins::sim {
+namespace {
+
+using jwins::testutil::DummyDataset;
+using jwins::testutil::QuadraticModel;
+using tensor::Tensor;
+
+// ------------------------------------------------------------- EventQueue
+
+TEST(EventQueue, PopsInTimeOrder) {
+  EventQueue q;
+  q.push(3.0, 0, EventKind::kTrainDone, 0);
+  q.push(1.0, 1, EventKind::kTrainDone, 0);
+  q.push(2.0, 2, EventKind::kTrainDone, 0);
+  EXPECT_EQ(q.pop().node, 1u);
+  EXPECT_EQ(q.pop().node, 2u);
+  EXPECT_EQ(q.pop().node, 0u);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, TieBreaksByNodeRank) {
+  EventQueue q;
+  q.push(1.0, 3, EventKind::kTrainDone, 0);
+  q.push(1.0, 1, EventKind::kTrainDone, 0);
+  q.push(1.0, 2, EventKind::kTrainDone, 0);
+  EXPECT_EQ(q.pop().node, 1u);
+  EXPECT_EQ(q.pop().node, 2u);
+  EXPECT_EQ(q.pop().node, 3u);
+}
+
+TEST(EventQueue, TieBreaksBySeqWithinNode) {
+  EventQueue q;
+  const auto s0 = q.push(1.0, 0, EventKind::kLocalStep, 0);
+  const auto s1 = q.push(1.0, 0, EventKind::kTrainDone, 1);
+  ASSERT_LT(s0, s1);
+  EXPECT_EQ(q.pop().kind, EventKind::kLocalStep);  // earlier seq first
+  EXPECT_EQ(q.pop().kind, EventKind::kTrainDone);
+}
+
+TEST(EventQueue, SeqUniqueAndMonotone) {
+  EventQueue q;
+  std::uint64_t prev = 0;
+  for (int i = 0; i < 100; ++i) {
+    const auto s = q.push(static_cast<double>(i), 0, EventKind::kTrainDone, 0);
+    if (i > 0) {
+      EXPECT_GT(s, prev);
+    }
+    prev = s;
+  }
+  EXPECT_EQ(q.size(), 100u);
+}
+
+TEST(EventQueue, MaxDepthIsHighWaterMark) {
+  EventQueue q;
+  q.push(1.0, 0, EventKind::kTrainDone, 0);
+  q.push(2.0, 0, EventKind::kTrainDone, 0);
+  q.push(3.0, 0, EventKind::kTrainDone, 0);
+  (void)q.pop();
+  (void)q.pop();
+  q.push(4.0, 0, EventKind::kTrainDone, 0);
+  EXPECT_EQ(q.max_depth(), 3u);
+  EXPECT_EQ(q.size(), 2u);
+}
+
+TEST(EventQueue, PopEmptyThrows) {
+  EventQueue q;
+  EXPECT_THROW(q.pop(), std::logic_error);
+  q.push(1.0, 0, EventKind::kTrainDone, 0);
+  (void)q.pop();
+  EXPECT_THROW(q.pop(), std::logic_error);
+}
+
+TEST(EventQueue, PushInThePastThrows) {
+  EventQueue q;
+  q.push(5.0, 0, EventKind::kTrainDone, 0);
+  (void)q.pop();
+  EXPECT_THROW(q.push(4.9, 0, EventKind::kTrainDone, 0), std::logic_error);
+  // Exactly the last pop time is legal (simultaneous follow-up events).
+  EXPECT_NO_THROW(q.push(5.0, 0, EventKind::kTrainDone, 0));
+}
+
+TEST(EventQueue, PushNanThrows) {
+  EventQueue q;
+  EXPECT_THROW(
+      q.push(std::numeric_limits<double>::quiet_NaN(), 0,
+             EventKind::kTrainDone, 0),
+      std::logic_error);
+}
+
+TEST(EventQueue, PopTimesNeverDecreaseUnderRandomLoad) {
+  EventQueue q;
+  std::mt19937 rng(42);
+  std::uniform_real_distribution<double> dist(0.0, 100.0);
+  for (int i = 0; i < 200; ++i) {
+    q.push(dist(rng), static_cast<std::uint32_t>(rng() % 8),
+           EventKind::kTrainDone, 0);
+  }
+  double prev = -1.0;
+  while (!q.empty()) {
+    const Event e = q.pop();
+    EXPECT_GE(e.time, prev);
+    prev = e.time;
+  }
+  EXPECT_EQ(q.last_pop_time(), prev);
+}
+
+TEST(EventQueue, LastPopTimeStartsAtMinusInfinity) {
+  EventQueue q;
+  EXPECT_EQ(q.last_pop_time(), -std::numeric_limits<double>::infinity());
+  q.push(0.0, 0, EventKind::kTrainDone, 0);
+  (void)q.pop();
+  EXPECT_EQ(q.last_pop_time(), 0.0);
+}
+
+TEST(EventQueue, CarriesRoundAndMessagePayload) {
+  EventQueue q;
+  net::Message msg;
+  msg.sender = 3;
+  msg.round = 7;
+  q.push(1.0, 2, EventKind::kMessageArrival, 7, std::move(msg));
+  const Event e = q.pop();
+  EXPECT_EQ(e.kind, EventKind::kMessageArrival);
+  EXPECT_EQ(e.round, 7u);
+  EXPECT_EQ(e.message.sender, 3u);
+  EXPECT_EQ(e.message.round, 7u);
+}
+
+TEST(EventQueue, InterleavedPushesStaySorted) {
+  EventQueue q;
+  q.push(1.0, 0, EventKind::kTrainDone, 0);
+  q.push(3.0, 0, EventKind::kTrainDone, 0);
+  EXPECT_EQ(q.pop().time, 1.0);
+  q.push(2.0, 1, EventKind::kTrainDone, 0);  // between the two, legal
+  EXPECT_EQ(q.pop().time, 2.0);
+  EXPECT_EQ(q.pop().time, 3.0);
+}
+
+TEST(EventKindName, AllDistinct) {
+  EXPECT_STREQ(event_kind_name(EventKind::kTrainDone), "train-done");
+  EXPECT_STREQ(event_kind_name(EventKind::kMessageArrival), "message-arrival");
+  EXPECT_STREQ(event_kind_name(EventKind::kLocalStep), "local-step");
+}
+
+// ------------------------------------------------------- UplinkSerializer
+
+net::TimeModel flat_model(std::size_t n) {
+  return net::TimeModel(n, net::LinkModel{}, net::TimeModelConfig{}, 1);
+}
+
+TEST(UplinkSerializer, SingleMessageIsTransferPlusLatency) {
+  const net::TimeModel tm = flat_model(4);
+  UplinkSerializer up(4);
+  const double off = up.enqueue(tm, 0, 1, 1000);
+  EXPECT_DOUBLE_EQ(off, 1000.0 / tm.edge_bandwidth(0, 1) +
+                            tm.edge_latency(0, 1));
+}
+
+TEST(UplinkSerializer, BackToBackMessagesSerialize) {
+  const net::TimeModel tm = flat_model(4);
+  UplinkSerializer up(4);
+  const double t1 = 1000.0 / tm.edge_bandwidth(0, 1);
+  const double t2 = 2000.0 / tm.edge_bandwidth(0, 2);
+  EXPECT_DOUBLE_EQ(up.enqueue(tm, 0, 1, 1000), t1 + tm.edge_latency(0, 1));
+  // The second transfer queues behind the first on node 0's uplink.
+  EXPECT_DOUBLE_EQ(up.enqueue(tm, 0, 2, 2000),
+                   t1 + t2 + tm.edge_latency(0, 2));
+  EXPECT_DOUBLE_EQ(up.queued(0), t1 + t2);
+}
+
+TEST(UplinkSerializer, SendersAreIndependent) {
+  const net::TimeModel tm = flat_model(4);
+  UplinkSerializer up(4);
+  (void)up.enqueue(tm, 0, 1, 8000);
+  const double off = up.enqueue(tm, 1, 2, 1000);
+  EXPECT_DOUBLE_EQ(off, 1000.0 / tm.edge_bandwidth(1, 2) +
+                            tm.edge_latency(1, 2));
+}
+
+TEST(UplinkSerializer, ResetStartsAFreshRound) {
+  const net::TimeModel tm = flat_model(4);
+  UplinkSerializer up(4);
+  (void)up.enqueue(tm, 0, 1, 5000);
+  up.reset(0);
+  EXPECT_DOUBLE_EQ(up.queued(0), 0.0);
+  EXPECT_DOUBLE_EQ(up.enqueue(tm, 0, 1, 5000),
+                   5000.0 / tm.edge_bandwidth(0, 1) + tm.edge_latency(0, 1));
+}
+
+TEST(UplinkSerializer, FlatModelOffsetsMatchLegacyFormula) {
+  // Under the flat model every edge has the base bandwidth/latency, so the
+  // offset of a sender's k-th message is sum(bytes)/bw + latency — the same
+  // quantities the legacy comm_time(max_node_bytes) builds from.
+  const net::LinkModel base;
+  const net::TimeModel tm = flat_model(3);
+  UplinkSerializer up(3);
+  const double off1 = up.enqueue(tm, 0, 1, 1234);
+  const double off2 = up.enqueue(tm, 0, 2, 1234);
+  EXPECT_DOUBLE_EQ(off1, base.latency_sec +
+                             1234.0 / base.bandwidth_bytes_per_sec);
+  EXPECT_DOUBLE_EQ(off2, base.latency_sec +
+                             2468.0 / base.bandwidth_bytes_per_sec);
+}
+
+TEST(UplinkSerializer, HeterogeneousEdgesUseTheirOwnParameters) {
+  net::TimeModelConfig cfg;
+  cfg.bandwidth_dist = {net::LinkDist::Kind::kUniform, 1e6, 10e6};
+  cfg.latency_dist = {net::LinkDist::Kind::kUniform, 0.001, 0.050};
+  const net::TimeModel tm(4, net::LinkModel{}, cfg, 9);
+  UplinkSerializer up(4);
+  const double t1 = 700.0 / tm.edge_bandwidth(2, 0);
+  const double t2 = 900.0 / tm.edge_bandwidth(2, 3);
+  EXPECT_DOUBLE_EQ(up.enqueue(tm, 2, 0, 700), t1 + tm.edge_latency(2, 0));
+  EXPECT_DOUBLE_EQ(up.enqueue(tm, 2, 3, 900),
+                   t1 + t2 + tm.edge_latency(2, 3));
+}
+
+// --------------------------------------------- mini-experiment scaffolding
+
+constexpr std::size_t kDim = 16;
+
+Tensor node_target(std::size_t rank) {
+  Tensor t({kDim});
+  for (std::size_t i = 0; i < kDim; ++i) {
+    t[i] = std::sin(0.3f * static_cast<float>(i + 1) *
+                    static_cast<float>(rank + 1)) *
+           2.0f;
+  }
+  return t;
+}
+
+Tensor node_init(std::size_t rank) {
+  std::mt19937 rng(1000 + static_cast<unsigned>(rank));
+  return Tensor::normal({kDim}, 0.0f, 1.0f, rng);
+}
+
+const data::Dataset& dummy_dataset() {
+  static DummyDataset dataset;
+  return dataset;
+}
+
+ExperimentConfig mini_config(std::size_t rounds) {
+  ExperimentConfig cfg;
+  cfg.algorithm = Algorithm::kFullSharing;
+  cfg.rounds = rounds;
+  cfg.local_steps = 1;
+  cfg.sgd.learning_rate = 0.05f;
+  cfg.eval_every = rounds;
+  cfg.eval_sample_limit = 4;
+  cfg.seed = 3;
+  return cfg;
+}
+
+std::unique_ptr<Experiment> make_mini(const ExperimentConfig& cfg,
+                                      std::size_t n, std::size_t degree = 2,
+                                      unsigned topo_seed = 7) {
+  data::Partition partition(n, {0, 1, 2, 3});
+  auto counter = std::make_shared<std::size_t>(0);
+  nn::ModelFactory factory =
+      [counter]() -> std::unique_ptr<nn::SupervisedModel> {
+    const std::size_t r = (*counter)++;
+    return std::make_unique<QuadraticModel>(node_target(r), node_init(r));
+  };
+  std::mt19937 rng(topo_seed);
+  graph::Graph g =
+      n >= 4 ? graph::random_regular(n, degree, rng) : graph::complete(n);
+  return std::make_unique<Experiment>(
+      cfg, factory, dummy_dataset(), partition, dummy_dataset(),
+      std::make_unique<graph::StaticTopology>(g));
+}
+
+std::string json_of(const ExperimentResult& result) {
+  std::ostringstream os;
+  write_result_json(os, "t", result, /*include_wall=*/false);
+  return os.str();
+}
+
+/// Runs cfg under both engines on identically-built experiments and demands
+/// byte-identical result JSON plus bit-identical model parameters.
+void expect_golden_reduction(ExperimentConfig cfg, std::size_t n) {
+  cfg.engine = EngineKind::kSync;
+  auto sync = make_mini(cfg, n);
+  const ExperimentResult rs = sync->run();
+  cfg.engine = EngineKind::kAsync;
+  auto async = make_mini(cfg, n);
+  const ExperimentResult ra = async->run();
+  EXPECT_EQ(json_of(rs), json_of(ra));
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_EQ(sync->node(i).flat_params(), async->node(i).flat_params())
+        << "node " << i;
+  }
+  EXPECT_FALSE(rs.event_engine.enabled);
+  EXPECT_TRUE(ra.event_engine.enabled);
+  EXPECT_FALSE(ra.event_engine.extended);  // barrier mode: no JSON block
+}
+
+// --------------------------------- barrier mode: the exact sync reduction
+
+TEST(EventEngineBarrier, MatchesSyncOnFlatModel) {
+  expect_golden_reduction(mini_config(6), 4);
+}
+
+TEST(EventEngineBarrier, MatchesSyncWithEvaluationSchedule) {
+  ExperimentConfig cfg = mini_config(9);
+  cfg.eval_every = 2;
+  expect_golden_reduction(cfg, 4);
+}
+
+TEST(EventEngineBarrier, MatchesSyncWithHeterogeneousLinks) {
+  ExperimentConfig cfg = mini_config(6);
+  cfg.time.bandwidth_dist = {net::LinkDist::Kind::kLognormal, 12.5e6, 0.75};
+  cfg.time.latency_dist = {net::LinkDist::Kind::kUniform, 0.002, 0.040};
+  expect_golden_reduction(cfg, 6);
+}
+
+TEST(EventEngineBarrier, MatchesSyncWithStragglers) {
+  ExperimentConfig cfg = mini_config(6);
+  cfg.time.straggler_fraction = 0.4;
+  cfg.time.straggler_slowdown = 5.0;
+  expect_golden_reduction(cfg, 6);
+}
+
+TEST(EventEngineBarrier, MatchesSyncWithIidDrop) {
+  ExperimentConfig cfg = mini_config(8);
+  cfg.message_drop_probability = 0.3;
+  expect_golden_reduction(cfg, 4);
+}
+
+TEST(EventEngineBarrier, MatchesSyncWithEdgeDrop) {
+  ExperimentConfig cfg = mini_config(8);
+  cfg.time.edge_drop = {net::EdgeDropDist::Kind::kUniform, 0.1, 0.5};
+  expect_golden_reduction(cfg, 4);
+}
+
+TEST(EventEngineBarrier, MatchesSyncWithBurstOutages) {
+  ExperimentConfig cfg = mini_config(9);
+  cfg.time.burst_every = 3;
+  cfg.time.burst_length = 1;
+  cfg.time.burst_drop = 1.0;
+  expect_golden_reduction(cfg, 4);
+}
+
+TEST(EventEngineBarrier, MatchesSyncWithCrashAndRejoin) {
+  ExperimentConfig cfg = mini_config(10);
+  cfg.time.crash_nodes = 2;
+  cfg.time.crash_at = 3;
+  cfg.time.rejoin_at = 7;
+  expect_golden_reduction(cfg, 6);
+}
+
+TEST(EventEngineBarrier, MatchesSyncWithPermanentCrash) {
+  ExperimentConfig cfg = mini_config(8);
+  cfg.time.crash_nodes = 1;
+  cfg.time.crash_at = 2;
+  cfg.time.rejoin_at = 0;  // never rejoins
+  expect_golden_reduction(cfg, 4);
+}
+
+TEST(EventEngineBarrier, MatchesSyncWithEverythingAtOnce) {
+  ExperimentConfig cfg = mini_config(12);
+  cfg.eval_every = 3;
+  cfg.lr_decay_every = 4;
+  cfg.lr_decay_factor = 0.5;
+  cfg.time.bandwidth_dist = {net::LinkDist::Kind::kUniform, 2e6, 20e6};
+  cfg.time.latency_dist = {net::LinkDist::Kind::kUniform, 0.001, 0.030};
+  cfg.time.straggler_fraction = 0.3;
+  cfg.time.straggler_slowdown = 3.0;
+  cfg.time.edge_drop = {net::EdgeDropDist::Kind::kFixed, 0.15, 0.0};
+  cfg.time.crash_nodes = 1;
+  cfg.time.crash_at = 4;
+  cfg.time.rejoin_at = 8;
+  expect_golden_reduction(cfg, 6);
+}
+
+TEST(EventEngineBarrier, MatchesSyncWithSimTimeBudget) {
+  ExperimentConfig cfg = mini_config(50);
+  cfg.eval_every = 5;
+  cfg.stop_at_sim_time = 0.4;  // cuts the run well before 50 rounds
+  cfg.engine = EngineKind::kSync;
+  auto sync = make_mini(cfg, 4);
+  const ExperimentResult rs = sync->run();
+  EXPECT_LT(rs.rounds_run, 50u);
+  cfg.engine = EngineKind::kAsync;
+  auto async = make_mini(cfg, 4);
+  const ExperimentResult ra = async->run();
+  // The budget makes the run "extended": both engines stop after the round
+  // that crossed 0.4 simulated seconds, and the async engine now reports
+  // its event counters — so compare everything except that block.
+  EXPECT_EQ(rs.rounds_run, ra.rounds_run);
+  EXPECT_EQ(rs.sim_seconds, ra.sim_seconds);
+  EXPECT_EQ(rs.final_accuracy, ra.final_accuracy);
+  EXPECT_EQ(rs.total_traffic.bytes_sent, ra.total_traffic.bytes_sent);
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(sync->node(i).flat_params(), async->node(i).flat_params());
+  }
+  EXPECT_TRUE(ra.event_engine.extended);
+}
+
+TEST(EventEngineBarrier, StatsAndConservation) {
+  ExperimentConfig cfg = mini_config(5);
+  cfg.engine = EngineKind::kAsync;
+  auto exp = make_mini(cfg, 4);
+  const ExperimentResult r = exp->run();
+  const EventEngineStats& ee = r.event_engine;
+  EXPECT_TRUE(ee.enabled);
+  // 4 nodes x 5 rounds x (1 TrainDone + 1 LocalStep) + one arrival per
+  // delivered message.
+  EXPECT_EQ(ee.events_processed, 40u + ee.messages_delivered);
+  EXPECT_GT(ee.max_queue_depth, 0u);
+  EXPECT_EQ(ee.messages_in_flight, 0u);  // barrier drains every round
+  EXPECT_EQ(ee.messages_stale_dropped, 0u);
+  EXPECT_EQ(ee.staleness_overrides, 0u);
+  EXPECT_EQ(r.total_traffic.messages_sent,
+            ee.messages_delivered + r.sim_time.dropped_total);
+  ASSERT_EQ(ee.staleness_histogram.size(), 1u);
+  EXPECT_EQ(ee.staleness_histogram[0], ee.messages_delivered);
+  ASSERT_EQ(ee.local_steps.size(), 4u);
+  EXPECT_EQ(ee.local_steps_min(), 5u);
+  EXPECT_EQ(ee.local_steps_max(), 5u);
+}
+
+TEST(EventEngineBarrier, TargetAccuracyStopMatchesSync) {
+  ExperimentConfig cfg = mini_config(60);
+  cfg.eval_every = 1;
+  cfg.target_accuracy = 0.5;  // reachable: quadratic accuracy = 1/(1+loss)
+  expect_golden_reduction(cfg, 4);
+}
+
+TEST(EventEngineBarrier, ValidationRejectsStalenessUnderSync) {
+  ExperimentConfig cfg = mini_config(4);
+  cfg.staleness_bound = 2;  // engine still kSync
+  const auto errors = cfg.validate();
+  ASSERT_FALSE(errors.empty());
+  EXPECT_NE(errors.front().find("staleness_bound"), std::string::npos);
+  cfg.engine = EngineKind::kAsync;
+  EXPECT_TRUE(cfg.validate().empty());
+}
+
+TEST(EventEngineBarrier, EngineNames) {
+  EXPECT_STREQ(engine_name(EngineKind::kSync), "sync");
+  EXPECT_STREQ(engine_name(EngineKind::kAsync), "async");
+}
+
+// ------------------------------------------- bounded-staleness asynchrony
+
+ExperimentConfig bounded_config(std::size_t rounds, std::size_t bound) {
+  ExperimentConfig cfg = mini_config(rounds);
+  cfg.engine = EngineKind::kAsync;
+  cfg.staleness_bound = bound;
+  return cfg;
+}
+
+TEST(EventEngineBounded, CompletesAllRoundsWithoutBudget) {
+  auto exp = make_mini(bounded_config(10, 2), 4);
+  const ExperimentResult r = exp->run();
+  EXPECT_EQ(r.rounds_run, 10u);
+  const EventEngineStats& ee = r.event_engine;
+  EXPECT_TRUE(ee.extended);
+  EXPECT_EQ(ee.local_steps_min(), 10u);
+  EXPECT_EQ(ee.local_steps_max(), 10u);
+  EXPECT_EQ(ee.messages_in_flight, 0u);
+}
+
+TEST(EventEngineBounded, ConservationWithoutFaults) {
+  auto exp = make_mini(bounded_config(8, 1), 6, 4);
+  const ExperimentResult r = exp->run();
+  EXPECT_EQ(r.total_traffic.messages_sent, r.event_engine.messages_delivered);
+  EXPECT_EQ(r.event_engine.messages_in_flight, 0u);
+  EXPECT_EQ(r.sim_time.dropped_total, 0u);
+}
+
+TEST(EventEngineBounded, ConservationWithDrops) {
+  ExperimentConfig cfg = bounded_config(10, 2);
+  cfg.message_drop_probability = 0.3;
+  cfg.time.edge_drop = {net::EdgeDropDist::Kind::kFixed, 0.2, 0.0};
+  auto exp = make_mini(cfg, 6, 4);
+  const ExperimentResult r = exp->run();
+  EXPECT_GT(r.sim_time.dropped_total, 0u);
+  EXPECT_EQ(r.total_traffic.messages_sent,
+            r.event_engine.messages_delivered + r.sim_time.dropped_total +
+                r.event_engine.messages_in_flight);
+}
+
+TEST(EventEngineBounded, HistogramCountsAppliedMessages) {
+  auto exp = make_mini(bounded_config(10, 3), 4);
+  const ExperimentResult r = exp->run();
+  const EventEngineStats& ee = r.event_engine;
+  ASSERT_EQ(ee.staleness_histogram.size(), 4u);  // staleness 0..B
+  std::uint64_t applied = 0;
+  for (const std::uint64_t c : ee.staleness_histogram) applied += c;
+  EXPECT_GT(applied, 0u);
+  // Applied messages are a subset of delivered ones (the rest were either
+  // stale-dropped or still buffered as "early" when the run ended).
+  EXPECT_LE(applied, ee.messages_delivered);
+}
+
+TEST(EventEngineBounded, StragglersDesynchronizeLocalClocks) {
+  ExperimentConfig cfg = bounded_config(30, 3);
+  cfg.time.straggler_fraction = 0.4;
+  cfg.time.straggler_slowdown = 4.0;
+  cfg.stop_at_sim_time = 0.5;
+  auto exp = make_mini(cfg, 6, 4);
+  const ExperimentResult r = exp->run();
+  const EventEngineStats& ee = r.event_engine;
+  // The paper-motivating signal: under a time budget fast nodes complete
+  // genuinely more local rounds than the 4x stragglers.
+  EXPECT_LT(ee.local_steps_min(), ee.local_steps_max());
+  EXPECT_EQ(r.rounds_run, ee.local_steps_min());
+  EXPECT_LE(r.sim_seconds, 0.5);
+}
+
+TEST(EventEngineBounded, BudgetStopsTheRun) {
+  ExperimentConfig cfg = bounded_config(100, 2);
+  cfg.stop_at_sim_time = 0.3;
+  auto exp = make_mini(cfg, 4);
+  const ExperimentResult r = exp->run();
+  EXPECT_LT(r.rounds_run, 100u);
+  EXPECT_LE(r.sim_seconds, 0.3);
+  EXPECT_GT(r.sim_seconds, 0.0);
+}
+
+TEST(EventEngineBounded, ReplayIsBitIdentical) {
+  ExperimentConfig cfg = bounded_config(12, 2);
+  cfg.time.latency_dist = {net::LinkDist::Kind::kUniform, 0.002, 0.040};
+  cfg.time.straggler_fraction = 0.3;
+  cfg.time.straggler_slowdown = 3.0;
+  auto a = make_mini(cfg, 6, 4);
+  auto b = make_mini(cfg, 6, 4);
+  const ExperimentResult ra = a->run();
+  const ExperimentResult rb = b->run();
+  EXPECT_EQ(json_of(ra), json_of(rb));
+  for (std::size_t i = 0; i < 6; ++i) {
+    EXPECT_EQ(a->node(i).flat_params(), b->node(i).flat_params());
+  }
+}
+
+TEST(EventEngineBounded, ThreadCountDoesNotChangeResults) {
+  ExperimentConfig cfg = bounded_config(10, 2);
+  cfg.time.latency_dist = {net::LinkDist::Kind::kUniform, 0.002, 0.040};
+  cfg.eval_every = 2;
+  auto seq = make_mini(cfg, 4);
+  cfg.threads = 4;
+  auto par = make_mini(cfg, 4);
+  const ExperimentResult rs = seq->run();
+  const ExperimentResult rp = par->run();
+  EXPECT_EQ(json_of(rs), json_of(rp));
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(seq->node(i).flat_params(), par->node(i).flat_params());
+  }
+}
+
+TEST(EventEngineBounded, CrashedNodeIdlesAndRejoins) {
+  ExperimentConfig cfg = bounded_config(12, 1);
+  cfg.time.crash_nodes = 1;
+  cfg.time.crash_at = 2;
+  cfg.time.rejoin_at = 8;
+  auto exp = make_mini(cfg, 4);
+  const ExperimentResult r = exp->run();
+  // Idle crash rounds still advance the victim's local clock, so every node
+  // reaches the rounds cap and the run terminates without deadlock.
+  EXPECT_EQ(r.rounds_run, 12u);
+  EXPECT_GT(r.sim_time.dropped_crash, 0u);  // messages to the victim died
+  // Messages buffered across the crash window expire past the bound.
+  EXPECT_GT(r.event_engine.messages_stale_dropped, 0u);
+}
+
+TEST(EventEngineBounded, PermanentCrashDoesNotDeadlock) {
+  ExperimentConfig cfg = bounded_config(10, 1);
+  cfg.time.crash_nodes = 1;
+  cfg.time.crash_at = 3;
+  cfg.time.rejoin_at = 0;  // down forever
+  auto exp = make_mini(cfg, 4);
+  const ExperimentResult r = exp->run();
+  EXPECT_EQ(r.rounds_run, 10u);
+  EXPECT_EQ(r.event_engine.messages_in_flight, 0u);
+}
+
+TEST(EventEngineBounded, HighLatencyProducesStaleMessages) {
+  ExperimentConfig cfg = bounded_config(20, 1);
+  cfg.compute_seconds_per_round = 0.005;
+  cfg.time.latency_dist = {net::LinkDist::Kind::kUniform, 0.020, 0.080};
+  auto exp = make_mini(cfg, 4);
+  const ExperimentResult r = exp->run();
+  // Links many compute-rounds long: some messages arrive after their
+  // receiver's staleness window has passed them.
+  EXPECT_GT(r.event_engine.messages_stale_dropped, 0u);
+  EXPECT_EQ(r.total_traffic.messages_sent, r.event_engine.messages_delivered);
+}
+
+TEST(EventEngineBounded, ExtendedJsonBlockPresent) {
+  auto exp = make_mini(bounded_config(6, 2), 4);
+  const ExperimentResult r = exp->run();
+  const std::string json = json_of(r);
+  EXPECT_NE(json.find("\"event_engine\""), std::string::npos);
+  EXPECT_NE(json.find("\"staleness_histogram\""), std::string::npos);
+  EXPECT_NE(json.find("\"local_steps\""), std::string::npos);
+  // And the barrier-mode JSON stays free of it (the reduction guarantee).
+  ExperimentConfig barrier = mini_config(6);
+  barrier.engine = EngineKind::kAsync;
+  auto bexp = make_mini(barrier, 4);
+  EXPECT_EQ(json_of(bexp->run()).find("\"event_engine\""), std::string::npos);
+}
+
+TEST(EventEngineBounded, EvaluationScheduleMatchesSyncRounds) {
+  ExperimentConfig cfg = bounded_config(12, 2);
+  cfg.eval_every = 3;
+  auto exp = make_mini(cfg, 4);
+  const ExperimentResult r = exp->run();
+  // Sync evaluates after rounds t = 0, 3, 6, 9 (reported as t+1) plus the
+  // final round; the bounded engine emits the same global schedule.
+  ASSERT_EQ(r.series.size(), 5u);
+  EXPECT_EQ(r.series[0].round, 1u);
+  EXPECT_EQ(r.series[1].round, 4u);
+  EXPECT_EQ(r.series[2].round, 7u);
+  EXPECT_EQ(r.series[3].round, 10u);
+  EXPECT_EQ(r.series[4].round, 12u);
+  for (std::size_t i = 1; i < r.series.size(); ++i) {
+    EXPECT_GE(r.series[i].sim_seconds, r.series[i - 1].sim_seconds);
+  }
+}
+
+TEST(EventEngineBounded, TargetAccuracyStopsEarly) {
+  ExperimentConfig cfg = bounded_config(60, 2);
+  cfg.eval_every = 1;
+  cfg.target_accuracy = 0.5;
+  // A common optimum for every node: consensus and the local objectives
+  // agree, so accuracy climbs monotonically toward 1 and must cross 0.5.
+  data::Partition partition(4, {0, 1, 2, 3});
+  auto counter = std::make_shared<std::size_t>(0);
+  nn::ModelFactory factory =
+      [counter]() -> std::unique_ptr<nn::SupervisedModel> {
+    return std::make_unique<QuadraticModel>(node_target(0),
+                                            node_init((*counter)++));
+  };
+  std::mt19937 rng(7);
+  Experiment exp(cfg, factory, dummy_dataset(), partition, dummy_dataset(),
+                 std::make_unique<graph::StaticTopology>(
+                     graph::random_regular(4, 2, rng)));
+  const ExperimentResult r = exp.run();
+  EXPECT_TRUE(r.reached_target);
+  EXPECT_LT(r.rounds_run, 60u);
+}
+
+TEST(EventEngineBounded, JwinsTracksAlpha) {
+  ExperimentConfig cfg = bounded_config(8, 1);
+  cfg.algorithm = Algorithm::kJwins;
+  auto exp = make_mini(cfg, 4);
+  const ExperimentResult r = exp->run();
+  EXPECT_GT(r.mean_alpha, 0.0);
+  EXPECT_LE(r.mean_alpha, 1.0);
+}
+
+// ------------------------------ sub-round crash semantics (both engines)
+
+/// The seeded crash-victim choice, reconstructed exactly as the Experiment
+/// builds it.
+std::uint32_t crash_victim(const ExperimentConfig& cfg, std::size_t n) {
+  const net::TimeModel tm(n, cfg.link, cfg.time, cfg.seed);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    if (tm.node_crashes(i)) return i;
+  }
+  ADD_FAILURE() << "no crash victim drawn";
+  return 0;
+}
+
+TEST(CrashSemantics, NodeAliveIsRoundGranular) {
+  ExperimentConfig cfg = mini_config(10);
+  cfg.time.crash_nodes = 1;
+  cfg.time.crash_at = 3;
+  cfg.time.rejoin_at = 7;
+  const net::TimeModel tm(4, cfg.link, cfg.time, cfg.seed);
+  const std::uint32_t v = crash_victim(cfg, 4);
+  EXPECT_TRUE(tm.node_alive(v, 2));   // last full round before the crash
+  EXPECT_FALSE(tm.node_alive(v, 3));  // down for the whole round, not part
+  EXPECT_FALSE(tm.node_alive(v, 6));
+  EXPECT_TRUE(tm.node_alive(v, 7));   // back for the whole rejoin round
+}
+
+TEST(CrashSemantics, DropCauseFlipsExactlyAtTheBoundary) {
+  ExperimentConfig cfg = mini_config(10);
+  cfg.time.crash_nodes = 1;
+  cfg.time.crash_at = 3;
+  cfg.time.rejoin_at = 7;
+  const net::TimeModel tm(4, cfg.link, cfg.time, cfg.seed);
+  const std::uint32_t v = crash_victim(cfg, 4);
+  const std::uint32_t other = v == 0 ? 1 : 0;
+  EXPECT_EQ(tm.drop_cause(other, v, 2), net::DropCause::kNone);
+  EXPECT_EQ(tm.drop_cause(other, v, 3), net::DropCause::kCrash);
+  EXPECT_EQ(tm.drop_cause(v, other, 6), net::DropCause::kCrash);
+  EXPECT_EQ(tm.drop_cause(other, v, 7), net::DropCause::kNone);
+}
+
+TEST(CrashSemantics, SyncModelBytesFreezeForWholeRounds) {
+  // Round granularity pinned end-to-end: the victim's parameters after
+  // crash_at + k rounds equal its parameters at crash_at for any k inside
+  // the window — there is no partial-round participation.
+  ExperimentConfig cfg = mini_config(3);
+  cfg.time.crash_nodes = 1;
+  cfg.time.crash_at = 3;
+  cfg.time.rejoin_at = 0;
+  const std::uint32_t v = crash_victim(cfg, 4);
+  auto at_crash = make_mini(cfg, 4);
+  (void)at_crash->run();  // runs rounds 0..2, stops right at the window
+  cfg.rounds = 6;
+  cfg.eval_every = 6;
+  auto inside = make_mini(cfg, 4);
+  (void)inside->run();  // rounds 3..5 happen with the victim down
+  EXPECT_EQ(at_crash->node(v).flat_params(), inside->node(v).flat_params());
+}
+
+TEST(CrashSemantics, SyncVictimSendsNothingWhileDown) {
+  ExperimentConfig cfg = mini_config(6);
+  cfg.time.crash_nodes = 1;
+  cfg.time.crash_at = 2;
+  cfg.time.rejoin_at = 4;
+  auto exp = make_mini(cfg, 4);
+  const ExperimentResult r = exp->run();
+  ExperimentConfig clean = mini_config(6);
+  auto base = make_mini(clean, 4);
+  const ExperimentResult rb = base->run();
+  // The victim skips its share phase for 2 rounds (degree-2 topology: 2
+  // messages per round), so exactly 4 messages fewer are sent.
+  EXPECT_EQ(r.total_traffic.messages_sent + 4,
+            rb.total_traffic.messages_sent);
+}
+
+TEST(CrashSemantics, AsyncBarrierFreezesTheSameBytes) {
+  ExperimentConfig cfg = mini_config(6);
+  cfg.time.crash_nodes = 1;
+  cfg.time.crash_at = 2;
+  cfg.time.rejoin_at = 5;
+  const std::uint32_t v = crash_victim(cfg, 4);
+  auto sync = make_mini(cfg, 4);
+  (void)sync->run();
+  cfg.engine = EngineKind::kAsync;
+  auto async = make_mini(cfg, 4);
+  (void)async->run();
+  EXPECT_EQ(sync->node(v).flat_params(), async->node(v).flat_params());
+}
+
+TEST(CrashSemantics, BoundedVictimBytesFreezeDuringWindow) {
+  // The bounded engine refines crash granularity to the victim's LOCAL
+  // rounds, but the freeze itself is identical: no training, no sharing,
+  // no aggregation while down.
+  ExperimentConfig cfg = bounded_config(3, 1);
+  cfg.time.crash_nodes = 1;
+  cfg.time.crash_at = 3;
+  cfg.time.rejoin_at = 0;
+  const std::uint32_t v = crash_victim(cfg, 4);
+  auto at_crash = make_mini(cfg, 4);
+  (void)at_crash->run();
+  cfg.rounds = 6;
+  cfg.eval_every = 6;
+  auto inside = make_mini(cfg, 4);
+  (void)inside->run();
+  EXPECT_EQ(at_crash->node(v).flat_params(), inside->node(v).flat_params());
+}
+
+}  // namespace
+}  // namespace jwins::sim

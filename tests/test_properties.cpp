@@ -3,7 +3,10 @@
 // modules together.
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <memory>
 #include <random>
+#include <sstream>
 
 #include "compress/float_codec.hpp"
 #include "core/averaging.hpp"
@@ -12,8 +15,11 @@
 #include "dwt/dwt.hpp"
 #include "graph/graph.hpp"
 #include "net/serializer.hpp"
+#include "net/time_model.hpp"
 #include "sim/experiment.hpp"
+#include "sim/report.hpp"
 #include "sim/workloads.hpp"
+#include "test_util.hpp"
 
 namespace jwins {
 namespace {
@@ -214,6 +220,142 @@ TEST(SerializerProperty, InterleavedSequencesRoundTrip) {
     EXPECT_TRUE(r.exhausted());
   }
 }
+
+// ------------------------------------------------ async engine fuzz sweep
+//
+// Randomized end-to-end sweep over the discrete-event engine
+// (sim/event_engine.hpp): each seed draws a small topology, a staleness
+// bound, heterogeneous link times, and a fault cocktail (stragglers, i.i.d.
+// drops, crash/rejoin, correlated bursts, a simulated-time budget), then
+// checks the invariants that must hold for EVERY configuration —
+// termination without deadlock (the engine throws on quiescence with live
+// blocked nodes rather than hanging), the message-conservation ledger
+// (sent = delivered + dropped-by-cause + in-flight), staleness-histogram
+// consistency, and bit-identical replay of the result JSON.
+
+struct FuzzRun {
+  sim::ExperimentConfig cfg;
+  sim::ExperimentResult result;
+  std::string json;
+};
+
+FuzzRun run_async_fuzz(unsigned seed) {
+  std::mt19937 rng(seed);
+  const std::size_t n = 3 + rng() % 6;       // 3..8 nodes
+  const std::size_t rounds = 3 + rng() % 6;  // 3..8 rounds
+
+  FuzzRun out;
+  sim::ExperimentConfig& cfg = out.cfg;
+  cfg.algorithm = sim::Algorithm::kFullSharing;
+  cfg.rounds = rounds;
+  cfg.local_steps = 1;
+  cfg.sgd.learning_rate = 0.05f;
+  cfg.eval_every = rounds;
+  cfg.eval_sample_limit = 4;
+  cfg.seed = seed * 7919ull + 1;
+  cfg.engine = sim::EngineKind::kAsync;
+  cfg.staleness_bound = rng() % 4;  // 0 = barrier .. 3
+  cfg.compute_seconds_per_round =
+      0.01 + 0.001 * static_cast<double>(rng() % 50);
+  if (rng() % 2 == 0) {  // WAN-like latency spread: arrivals interleave
+    cfg.time.latency_dist = {net::LinkDist::Kind::kUniform, 0.001,
+                             0.001 + 0.002 * static_cast<double>(1 + rng() % 30)};
+  }
+  if (rng() % 3 == 0) {  // heterogeneous bandwidth
+    cfg.time.bandwidth_dist = {net::LinkDist::Kind::kLognormal, 1e6, 0.5};
+  }
+  if (rng() % 3 == 0) {  // slow minority
+    cfg.time.straggler_fraction = 0.4;
+    cfg.time.straggler_slowdown = 2.0 + static_cast<double>(rng() % 4);
+  }
+  if (rng() % 3 == 0) {  // lossy fabric
+    cfg.message_drop_probability = 0.05 * static_cast<double>(1 + rng() % 5);
+  }
+  if (rng() % 4 == 0) {  // crash, sometimes permanent
+    cfg.time.crash_nodes = 1;
+    cfg.time.crash_at = 1 + rng() % (rounds - 1);
+    cfg.time.rejoin_at =
+        rng() % 2 == 0 ? 0 : cfg.time.crash_at + 1 + rng() % 2;
+  }
+  if (rng() % 4 == 0) {  // correlated burst outages
+    cfg.time.burst_every = 2 + rng() % 3;
+    cfg.time.burst_length = 1;
+    cfg.time.burst_drop = 0.5;
+  }
+  if (rng() % 3 == 0) {  // simulated-time budget cutting the run mid-flight
+    cfg.stop_at_sim_time =
+        cfg.compute_seconds_per_round * static_cast<double>(rounds) * 0.6;
+  }
+
+  data::Partition partition(n, {0, 1, 2, 3});
+  auto counter = std::make_shared<std::size_t>(0);
+  nn::ModelFactory factory =
+      [counter]() -> std::unique_ptr<nn::SupervisedModel> {
+    const std::size_t r = (*counter)++;
+    constexpr std::size_t kDim = 12;
+    tensor::Tensor target({kDim});
+    for (std::size_t i = 0; i < kDim; ++i) {
+      target[i] = std::sin(0.4f * static_cast<float>(i + 1) *
+                           static_cast<float>(r + 1));
+    }
+    std::mt19937 init_rng(2000 + static_cast<unsigned>(r));
+    return std::make_unique<jwins::testutil::QuadraticModel>(
+        target, tensor::Tensor::normal({kDim}, 0.0f, 1.0f, init_rng));
+  };
+  static jwins::testutil::DummyDataset dataset;
+  std::mt19937 topo_rng(seed + 13);
+  graph::Graph g =
+      n >= 4 ? graph::random_regular(n, 2, topo_rng) : graph::complete(n);
+  sim::Experiment exp(cfg, factory, dataset, partition, dataset,
+                      std::make_unique<graph::StaticTopology>(g));
+  out.result = exp.run();
+  std::ostringstream os;
+  sim::write_result_json(os, "fuzz", out.result, /*include_wall=*/false);
+  out.json = os.str();
+  return out;
+}
+
+class AsyncEngineFuzz : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(AsyncEngineFuzz, TerminatesConservesAndReplaysBitIdentically) {
+  const unsigned seed = GetParam();
+  FuzzRun a;
+  ASSERT_NO_THROW(a = run_async_fuzz(seed)) << "seed " << seed;
+  const sim::ExperimentResult& r = a.result;
+  const sim::EventEngineStats& ee = r.event_engine;
+  SCOPED_TRACE(::testing::Message() << "seed " << seed << " nodes? bound "
+                                    << a.cfg.staleness_bound);
+  ASSERT_TRUE(ee.enabled);
+  EXPECT_GT(ee.events_processed, 0u);
+
+  // Conservation: every send is accounted for exactly once.
+  EXPECT_EQ(r.total_traffic.messages_sent,
+            ee.messages_delivered + r.sim_time.dropped_total +
+                ee.messages_in_flight);
+
+  // Histogram consistency: each applied message fell inside the window, and
+  // applied + stale-dropped never exceeds deliveries (the remainder is
+  // messages still buffered when their receiver finished).
+  ASSERT_EQ(ee.staleness_histogram.size(), a.cfg.staleness_bound + 1);
+  std::uint64_t applied = 0;
+  for (const std::uint64_t c : ee.staleness_histogram) applied += c;
+  EXPECT_LE(applied + ee.messages_stale_dropped, ee.messages_delivered);
+
+  // Termination shape: rounds never overshoot, and without a budget every
+  // node finishes all rounds with the queue fully drained.
+  EXPECT_LE(r.rounds_run, a.cfg.rounds);
+  EXPECT_LE(ee.local_steps_min(), ee.local_steps_max());
+  if (a.cfg.stop_at_sim_time == 0.0) {
+    EXPECT_EQ(r.rounds_run, a.cfg.rounds);
+    EXPECT_EQ(ee.messages_in_flight, 0u);
+  }
+
+  // Replay: the same seed must reproduce the result JSON byte for byte.
+  const FuzzRun b = run_async_fuzz(seed);
+  EXPECT_EQ(a.json, b.json);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AsyncEngineFuzz, ::testing::Range(0u, 100u));
 
 // ------------------------------------------------- payload fuzz-ish check
 
