@@ -92,6 +92,15 @@ std::string describe(const config::ScenarioRun& run) {
     if (run.config.staleness_bound > 0) {
       text += " staleness=" + std::to_string(run.config.staleness_bound);
     }
+    if (run.config.async_mode != sim::AsyncMode::kBarrier) {
+      text += " mode=";
+      text += sim::async_mode_name(run.config.async_mode);
+      if (run.config.async_mode == sim::AsyncMode::kWeighted) {
+        std::ostringstream decay;
+        decay << run.config.staleness_decay;
+        text += " decay=" + decay.str();
+      }
+    }
   }
   return text;
 }

@@ -72,7 +72,6 @@ void ChocoNode::share(net::Network& network, const graph::Graph& g,
 void ChocoNode::aggregate(net::Network& network, const graph::Graph& g,
                           const graph::MixingWeights& weights,
                           std::uint32_t round, core::RoundScratch& scratch) {
-  (void)round;
   scratch.reset();
   network.drain_into(rank(), scratch.inbox);
   const std::vector<net::Message>& inbox = scratch.inbox;
@@ -90,9 +89,11 @@ void ChocoNode::aggregate(net::Network& network, const graph::Graph& g,
       s_[idx] += static_cast<float>(w_self * own_values_[i]);
     }
   }
-  // s += Σ_j w_ij q_j (neighbor contributions).
+  // s += Σ_j w_ij q_j (neighbor contributions; under weighted async mode
+  // the mixing weight additionally carries the λ^staleness age decay —
+  // exactly weight_of() outside it).
   for (const net::Message& msg : inbox) {
-    const double w = weight_of(g, weights, rank(), msg.sender);
+    const double w = contribution_weight(g, weights, msg, round);
     if (options_.compressor == Compressor::kQsgd) {
       // Zero-copy: the packed bitstream is read in place from the
       // refcounted body, never materialized into scratch.

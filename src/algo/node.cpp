@@ -1,5 +1,7 @@
 #include "algo/node.hpp"
 
+#include <cmath>
+
 #include "nn/flat.hpp"
 
 namespace jwins::algo {
@@ -50,6 +52,27 @@ double DlNode::weight_of(const graph::Graph& g,
     if (nbrs[k] == sender) return weights.neighbor_weight[receiver][k];
   }
   return 0.0;
+}
+
+double DlNode::staleness_scale(std::uint32_t msg_round,
+                               std::uint32_t round) const noexcept {
+  // Messages from the current round or ahead of it (possible under free
+  // aggregation) carry no staleness; decay applies only to genuinely old
+  // tags. The >= 1.0 short-circuit keeps the default path branch-only.
+  if (staleness_decay_ >= 1.0 || msg_round >= round) return 1.0;
+  return std::pow(staleness_decay_,
+                  static_cast<double>(round - msg_round));
+}
+
+double DlNode::contribution_weight(const graph::Graph& g,
+                                   const graph::MixingWeights& weights,
+                                   const net::Message& msg,
+                                   std::uint32_t round) const {
+  const double base = weight_of(g, weights, rank_, msg.sender);
+  const double scale = staleness_scale(msg.round, round);
+  // scale == 1.0 exactly on the undecayed path: return the unmultiplied
+  // double so sync/barrier aggregation stays bit-identical.
+  return scale == 1.0 ? base : base * scale;
 }
 
 }  // namespace jwins::algo

@@ -82,11 +82,32 @@ class DlNode {
   void set_learning_rate(float lr) noexcept { optimizer_.set_learning_rate(lr); }
   float learning_rate() const noexcept { return optimizer_.learning_rate(); }
 
+  /// Staleness-weighted mixing (sim::AsyncMode::kWeighted): a contribution
+  /// tagged s rounds before the aggregating round mixes with weight
+  /// w_ij * lambda^s. The default lambda of 1.0 makes every scaling helper
+  /// an exact no-op (multiplying by 1.0 is exact in IEEE arithmetic), so
+  /// the synchronous and barrier paths stay bit-identical.
+  void set_staleness_decay(double lambda) noexcept { staleness_decay_ = lambda; }
+  double staleness_decay() const noexcept { return staleness_decay_; }
+
  protected:
   /// Mixing weight w_{rank,sender}; returns 0 for non-neighbors.
   static double weight_of(const graph::Graph& g,
                           const graph::MixingWeights& weights,
                           std::uint32_t receiver, std::uint32_t sender);
+
+  /// lambda^(round - msg_round) under the configured decay; exactly 1.0
+  /// when no decay is set or the message is current/future-tagged.
+  double staleness_scale(std::uint32_t msg_round,
+                         std::uint32_t round) const noexcept;
+
+  /// The mixing weight of `msg` at aggregation time: weight_of() scaled by
+  /// staleness_scale(). With the default decay this IS weight_of() — same
+  /// double, no extra arithmetic.
+  double contribution_weight(const graph::Graph& g,
+                             const graph::MixingWeights& weights,
+                             const net::Message& msg,
+                             std::uint32_t round) const;
 
   /// Fresh counter-based random stream for this node's draws in `round`.
   /// A pure function of (experiment seed, rank, round, salt): the k-th draw
@@ -103,6 +124,7 @@ class DlNode {
   data::Sampler sampler_;
   TrainConfig config_;
   nn::Sgd optimizer_;
+  double staleness_decay_ = 1.0;  ///< 1.0 = no decay (exact no-op scaling)
 };
 
 }  // namespace jwins::algo

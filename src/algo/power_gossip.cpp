@@ -158,8 +158,10 @@ void PowerGossipNode::aggregate(net::Network& network, const graph::Graph& g,
         // original (x_i += gamma w_ij (x_j - x_i) along the estimated
         // direction): simultaneous updates from several neighbors then stay
         // a stable convex-combination-like step. w_ij is symmetric, so the
-        // pair's mean is preserved.
-        const double w_ij = weight_of(g, weights, rank(), msg.sender);
+        // pair's mean is preserved. Under weighted async mode the weight
+        // additionally carries the λ^staleness age decay (weight_of()
+        // exactly, outside it).
+        const double w_ij = contribution_weight(g, weights, msg, round);
         const float sign = lower ? -1.0f : 1.0f;
         const float scale =
             sign * static_cast<float>(options_.gamma * w_ij);

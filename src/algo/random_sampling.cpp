@@ -55,22 +55,32 @@ void RandomSamplingNode::aggregate(net::Network& network, const graph::Graph& g,
                                    const graph::MixingWeights& weights,
                                    std::uint32_t round,
                                    core::RoundScratch& scratch) {
-  (void)round;
   scratch.reset();
   network.drain_into(rank(), scratch.inbox);
   const std::vector<net::Message>& inbox = scratch.inbox;
   for (const net::Message& msg : inbox) {
     core::decode_payload_into(msg.body, scratch.payloads.next(), scratch.arena);
   }
-  // Pool references are stable once all payloads are decoded.
+  // Pool references are stable once all payloads are decoded. Staleness
+  // scales are all exactly 1.0 outside weighted async mode, in which case
+  // the unscaled (bit-identical legacy) overload runs.
+  bool scaled = false;
   for (std::size_t i = 0; i < inbox.size(); ++i) {
     scratch.contributions.push_back(
         {weight_of(g, weights, rank(), inbox[i].sender), &scratch.payloads[i]});
+    const double scale = staleness_scale(inbox[i].round, round);
+    scratch.contribution_scales.push_back(scale);
+    scaled = scaled || scale != 1.0;
   }
   const std::span<float> x = scratch.arena.alloc<float>(param_count());
   flat_params_into(x);
-  core::partial_average(x, weights.self_weight[rank()], scratch.contributions,
-                        scratch.arena);
+  if (scaled) {
+    core::partial_average(x, weights.self_weight[rank()], scratch.contributions,
+                          scratch.contribution_scales, scratch.arena);
+  } else {
+    core::partial_average(x, weights.self_weight[rank()], scratch.contributions,
+                          scratch.arena);
+  }
   set_flat_params(x);
 }
 

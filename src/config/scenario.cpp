@@ -545,6 +545,25 @@ const std::vector<KeySpec>& key_specs() {
           if (s < 0.0) fail("stop_at_sim_time", "must be >= 0");
           r.config.stop_at_sim_time = s;
         });
+    add({"async_mode", "enum", "barrier", "barrier, free, weighted",
+         "Asynchronous aggregation discipline (engine = async): barrier = "
+         "the bounded-staleness gate, free = aggregate whatever has arrived "
+         "(weights renormalize over heard neighbors), weighted = free with "
+         "contributions faded by staleness_decay^age instead of dropped"},
+        [](ScenarioRun& r, const std::string& v) {
+          expect_enum("async_mode", v, {"barrier", "free", "weighted"});
+          r.config.async_mode = v == "free"       ? sim::AsyncMode::kFree
+                                : v == "weighted" ? sim::AsyncMode::kWeighted
+                                                  : sim::AsyncMode::kBarrier;
+        });
+    add({"staleness_decay", "float", "0.5", "(0, 1]",
+         "Age-decay base lambda for async_mode = weighted: a contribution "
+         "s rounds stale mixes with weight w_ij * lambda^s (1 = no decay, "
+         "i.e. free mode)"},
+        [](ScenarioRun& r, const std::string& v) {
+          r.config.staleness_decay =
+              parse_double_in("staleness_decay", v, 0.0, 1.0, true, "(0, 1]");
+        });
 
     // --- algorithm knobs -------------------------------------------------
     add({"random_sampling_fraction", "float", "0.37", "(0, 1]",

@@ -8,25 +8,38 @@ namespace {
 
 void partial_average_impl(std::span<float> own, double self_weight,
                           std::span<const WeightedContribution> contributions,
+                          std::span<const double> contribution_scales,
                           std::span<double> numerator,
                           std::span<double> denominator) {
   const std::size_t n = own.size();
+  if (!contribution_scales.empty() &&
+      contribution_scales.size() != contributions.size()) {
+    throw std::invalid_argument(
+        "partial_average: contribution_scales size mismatch");
+  }
   for (std::size_t i = 0; i < n; ++i) {
     numerator[i] = self_weight * own[i];
     denominator[i] = self_weight;
   }
-  for (const WeightedContribution& c : contributions) {
+  for (std::size_t k = 0; k < contributions.size(); ++k) {
+    const WeightedContribution& c = contributions[k];
     if (c.payload == nullptr) {
       throw std::invalid_argument("partial_average: null contribution");
     }
+    // Effective weight: the scale multiplies numerator AND denominator, so
+    // per-coefficient renormalization still sums to 1 — decay redistributes
+    // mass, it never leaks it. Empty scales = the exact legacy path.
+    const double w = contribution_scales.empty()
+                         ? c.weight
+                         : c.weight * contribution_scales[k];
     const SparsePayload& p = *c.payload;
     if (p.vector_length != n) {
       throw std::invalid_argument("partial_average: vector length mismatch");
     }
     if (p.dense()) {
       for (std::size_t i = 0; i < n; ++i) {
-        numerator[i] += c.weight * p.values[i];
-        denominator[i] += c.weight;
+        numerator[i] += w * p.values[i];
+        denominator[i] += w;
       }
     } else {
       for (std::size_t i = 0; i < p.indices.size(); ++i) {
@@ -34,8 +47,8 @@ void partial_average_impl(std::span<float> own, double self_weight,
         if (idx >= n) {
           throw std::out_of_range("partial_average: index out of range");
         }
-        numerator[idx] += c.weight * p.values[i];
-        denominator[idx] += c.weight;
+        numerator[idx] += w * p.values[i];
+        denominator[idx] += w;
       }
     }
   }
@@ -52,7 +65,8 @@ void partial_average(std::span<float> own, double self_weight,
                      std::span<const WeightedContribution> contributions) {
   std::vector<double> numerator(own.size());
   std::vector<double> denominator(own.size());
-  partial_average_impl(own, self_weight, contributions, numerator, denominator);
+  partial_average_impl(own, self_weight, contributions, {}, numerator,
+                       denominator);
 }
 
 void partial_average(std::span<float> own, double self_weight,
@@ -60,7 +74,27 @@ void partial_average(std::span<float> own, double self_weight,
                      Arena& arena) {
   const std::span<double> numerator = arena.alloc<double>(own.size());
   const std::span<double> denominator = arena.alloc<double>(own.size());
-  partial_average_impl(own, self_weight, contributions, numerator, denominator);
+  partial_average_impl(own, self_weight, contributions, {}, numerator,
+                       denominator);
+}
+
+void partial_average(std::span<float> own, double self_weight,
+                     std::span<const WeightedContribution> contributions,
+                     std::span<const double> contribution_scales) {
+  std::vector<double> numerator(own.size());
+  std::vector<double> denominator(own.size());
+  partial_average_impl(own, self_weight, contributions, contribution_scales,
+                       numerator, denominator);
+}
+
+void partial_average(std::span<float> own, double self_weight,
+                     std::span<const WeightedContribution> contributions,
+                     std::span<const double> contribution_scales,
+                     Arena& arena) {
+  const std::span<double> numerator = arena.alloc<double>(own.size());
+  const std::span<double> denominator = arena.alloc<double>(own.size());
+  partial_average_impl(own, self_weight, contributions, contribution_scales,
+                       numerator, denominator);
 }
 
 }  // namespace jwins::core

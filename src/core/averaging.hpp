@@ -33,4 +33,21 @@ void partial_average(std::span<float> own, double self_weight,
                      std::span<const WeightedContribution> contributions,
                      Arena& arena);
 
+/// Per-contribution scaled variant (staleness-weighted asynchronous mixing,
+/// sim::AsyncMode::kWeighted): contribution i participates with effective
+/// weight contributions[i].weight * contribution_scales[i] in BOTH the
+/// numerator and the denominator, so the result remains a convex
+/// combination — the weights still renormalize to 1 per coefficient, decay
+/// merely shifts mass from stale contributors toward the rest. Requires
+/// contribution_scales.size() == contributions.size(); throws otherwise.
+void partial_average(std::span<float> own, double self_weight,
+                     std::span<const WeightedContribution> contributions,
+                     std::span<const double> contribution_scales);
+
+/// Scratch variant of the scaled overload (same arena contract as above).
+void partial_average(std::span<float> own, double self_weight,
+                     std::span<const WeightedContribution> contributions,
+                     std::span<const double> contribution_scales,
+                     Arena& arena);
+
 }  // namespace jwins::core

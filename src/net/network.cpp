@@ -50,6 +50,12 @@ void Network::send(std::uint32_t to, Message msg) {
     meter_.record_send(msg.sender, msg);
     time_.record_send(msg.sender, to, wire);
     time_.count_drop(cause);
+    if (cause != DropCause::kNone) {
+      // A dropped transfer never delivers, so its edge record retires here
+      // (no-op unless per-transfer retirement is enabled — the synchronous
+      // engine keeps the records for finish_round()'s critical path).
+      time_.retire_send(msg.sender, to);
+    }
   }
   if (cause != DropCause::kNone) {
     return;  // the bytes left the sender but never arrive
@@ -107,6 +113,24 @@ void Network::finish_round(double compute_seconds) {
   // Same two doubles, same addition order as the legacy
   // `compute + comm_time(max_bytes)` expression — bit-identical clocks.
   sim_seconds_ += rt.compute + rt.comm;
+}
+
+void Network::advance_time(double delta, bool compute) {
+  if (delta <= 0.0) return;  // simultaneous events advance nothing
+  if (compute) {
+    sim_compute_seconds_ += delta;
+  } else {
+    sim_comm_seconds_ += delta;
+  }
+  // The total is the exact sum of the buckets, recomputed after every
+  // advance: compute + comm == total bit-exactly, and all three clocks are
+  // monotone (non-negative increments, correctly rounded addition).
+  sim_seconds_ = sim_compute_seconds_ + sim_comm_seconds_;
+}
+
+void Network::retire_transfer(std::uint32_t sender, std::uint32_t receiver) {
+  std::lock_guard<std::mutex> lock(meter_lock_);
+  time_.retire_send(sender, receiver);
 }
 
 }  // namespace jwins::net

@@ -161,6 +161,28 @@ class Network {
   /// heterogeneous one — see net/time_model.hpp).
   void finish_round(double compute_seconds);
 
+  /// Event-granularity clock advance (the asynchronous engine's accounting
+  /// path; never mixed with finish_round() in one run): attributes `delta`
+  /// simulated seconds to the compute phase when `compute` is true, to the
+  /// communication phase otherwise, then recomputes the total as the exact
+  /// sum of the two buckets — so simulated_compute_seconds() +
+  /// simulated_comm_seconds() == simulated_seconds() holds bit-exactly at
+  /// every instant, and all three clocks are monotone (docs/SIMULATION.md
+  /// "Phase attribution").
+  void advance_time(double delta, bool compute);
+
+  /// Switches the TimeModel to per-transfer edge-record retirement: every
+  /// send appends its own record, and retire_transfer() erases it once the
+  /// transfer is delivered or dropped. This bounds the round_edges_ cache by
+  /// the in-flight message count on arbitrarily long asynchronous runs (the
+  /// synchronous engine instead clears records at finish_round()).
+  void enable_transfer_retirement() { time_.set_retire_records(true); }
+
+  /// Retires the oldest live edge record of (sender -> receiver); no-op
+  /// unless enable_transfer_retirement() was called. Thread-safe like
+  /// send()'s accounting.
+  void retire_transfer(std::uint32_t sender, std::uint32_t receiver);
+
   const TrafficMeter& traffic() const noexcept { return meter_; }
   double simulated_seconds() const noexcept { return sim_seconds_; }
   /// Per-phase split of simulated_seconds() (compute + comm == total).

@@ -130,16 +130,30 @@ void EventEngine::on_deliver(std::uint32_t to, net::Message msg) {
 ExperimentResult EventEngine::run() {
   const auto run_start = std::chrono::steady_clock::now();
   const std::size_t n = exp_.nodes_.size();
+  mode_ = exp_.config_.async_mode;
   stats_.enabled = true;
+  stats_.mode = mode_;
   stats_.extended = exp_.config_.staleness_bound > 0 ||
-                    exp_.config_.stop_at_sim_time > 0.0;
+                    exp_.config_.stop_at_sim_time > 0.0 ||
+                    mode_ != AsyncMode::kBarrier;
+  // Barrier runs size the histogram to the gate's window; free/weighted
+  // start at size 1 (age 0) and grow to whatever ages actually occur.
   stats_.staleness_histogram.assign(exp_.config_.staleness_bound + 1, 0);
   stats_.local_steps.assign(n, 0);
-  barrier_mode_ = exp_.config_.staleness_bound == 0;
+  barrier_mode_ =
+      exp_.config_.staleness_bound == 0 && mode_ == AsyncMode::kBarrier;
+  if (!barrier_mode_) {
+    // The event loop never calls finish_round(), so edge records must
+    // retire per transfer or a stop_at_sim_time run accumulates them
+    // forever (the ROADMAP-named leak this engine revision fixes).
+    exp_.network_.enable_transfer_retirement();
+  }
 
-  ExperimentResult result = barrier_mode_ ? run_barrier() : run_bounded();
+  ExperimentResult result = barrier_mode_ ? run_barrier() : run_event_loop();
 
   stats_.max_queue_depth = queue_.max_depth();
+  stats_.edge_records_high_water =
+      exp_.network_.time_model().edge_records_high_water();
   result.event_engine = stats_;
   exp_.wall_.total_seconds +=
       std::chrono::duration<double>(std::chrono::steady_clock::now() - run_start)
@@ -304,6 +318,9 @@ void EventEngine::start_round(std::uint32_t i, double now) {
   // still advances toward its rejoin round.
   const EventKind kind = node_alive(i, round_[i]) ? EventKind::kTrainDone
                                                   : EventKind::kLocalStep;
+  // Phase attribution: node i trains from now until its TrainDone pops
+  // (idle crash rounds are not compute — nothing runs on the node).
+  if (kind == EventKind::kTrainDone) ++training_count_;
   queue_.push(now + duration, i, kind, round_[i]);
 }
 
@@ -320,6 +337,9 @@ bool EventEngine::may_yet_hear(std::uint32_t neighbor,
 }
 
 bool EventEngine::gate_open(std::uint32_t i) {
+  // Free/weighted aggregation has no staleness gate: a node's local step
+  // fires the moment its training ends, with whatever has arrived.
+  if (mode_ != AsyncMode::kBarrier) return true;
   const std::int64_t bound =
       static_cast<std::int64_t>(exp_.config_.staleness_bound);
   const std::int64_t min_tag = static_cast<std::int64_t>(round_[i]) - bound;
@@ -372,14 +392,20 @@ void EventEngine::process_arrival(Event& event) {
   const std::uint32_t j = event.node;
   const std::uint32_t sender = event.message.sender;
   const std::uint32_t tag = event.message.round;
+  // The transfer completed: its TimeModel edge record retires here, keeping
+  // the live-record count bounded by the in-flight message count.
+  exp_.network_.retire_transfer(sender, j);
   const std::size_t n = exp_.nodes_.size();
   heard_[j * n + sender] =
       std::max(heard_[j * n + sender], static_cast<std::int64_t>(tag));
   const std::int64_t min_tag =
       static_cast<std::int64_t>(round_[j]) -
       static_cast<std::int64_t>(exp_.config_.staleness_bound);
-  if (static_cast<std::int64_t>(tag) < min_tag) {
+  if (mode_ == AsyncMode::kBarrier &&
+      static_cast<std::int64_t>(tag) < min_tag) {
     // Arrived after the receiver's staleness window already passed it.
+    // Free/weighted modes never drop on age — every arrival is applied
+    // (weighted merely fades it by lambda^staleness at aggregation).
     ++stats_.messages_stale_dropped;
   } else {
     inbox_[j].push_back(std::move(event.message));
@@ -393,28 +419,53 @@ void EventEngine::process_local_step(const Event& event,
   const std::uint32_t r = round_[i];
   const ExperimentConfig& cfg = exp_.config_;
   if (node_alive(i, r)) {
-    // Stage the eligible inbox into the Network mailbox: messages tagged
-    // within [r - B, r] are applied (the canonical (round, sender) drain
-    // order still holds), newer ones wait for their round, older ones —
-    // possible after idle crash rounds — are dropped as stale.
-    const std::int64_t min_tag =
-        static_cast<std::int64_t>(r) -
-        static_cast<std::int64_t>(cfg.staleness_bound);
     std::vector<net::Message>& box = inbox_[i];
-    std::size_t kept = 0;
-    for (net::Message& msg : box) {
-      const std::int64_t tag = static_cast<std::int64_t>(msg.round);
-      if (tag > static_cast<std::int64_t>(r)) {
-        box[kept++] = std::move(msg);  // early: not this round's business yet
-      } else if (tag < min_tag) {
-        ++stats_.messages_stale_dropped;
-      } else {
-        ++stats_.staleness_histogram[static_cast<std::size_t>(
-            static_cast<std::int64_t>(r) - tag)];
+    if (mode_ == AsyncMode::kBarrier) {
+      // Stage the eligible inbox into the Network mailbox: messages tagged
+      // within [r - B, r] are applied (the canonical (round, sender) drain
+      // order still holds), newer ones wait for their round, older ones —
+      // possible after idle crash rounds — are dropped as stale.
+      const std::int64_t min_tag =
+          static_cast<std::int64_t>(r) -
+          static_cast<std::int64_t>(cfg.staleness_bound);
+      std::size_t kept = 0;
+      for (net::Message& msg : box) {
+        const std::int64_t tag = static_cast<std::int64_t>(msg.round);
+        if (tag > static_cast<std::int64_t>(r)) {
+          box[kept++] = std::move(msg);  // early: not this round's business yet
+        } else if (tag < min_tag) {
+          ++stats_.messages_stale_dropped;
+        } else {
+          ++stats_.staleness_histogram[static_cast<std::size_t>(
+              static_cast<std::int64_t>(r) - tag)];
+          exp_.network_.deliver(i, std::move(msg));
+        }
+      }
+      box.resize(kept);
+    } else {
+      // Free/weighted aggregation: the node mixes with whatever has arrived
+      // — the whole inbox, early tags included (a fast neighbor's newer
+      // model is gossip too), ages floored at 0. The per-mode stats feed
+      // the effective-neighbor histogram and mean contribution age of the
+      // result JSON.
+      const std::size_t applied = box.size();
+      for (net::Message& msg : box) {
+        const std::size_t age =
+            msg.round >= r ? 0 : static_cast<std::size_t>(r - msg.round);
+        if (age >= stats_.staleness_histogram.size()) {
+          stats_.staleness_histogram.resize(age + 1, 0);
+        }
+        ++stats_.staleness_histogram[age];
+        stats_.contribution_age_sum += age;
+        ++stats_.contributions_applied;
         exp_.network_.deliver(i, std::move(msg));
       }
+      box.clear();
+      if (applied >= stats_.effective_neighbors.size()) {
+        stats_.effective_neighbors.resize(applied + 1, 0);
+      }
+      ++stats_.effective_neighbors[applied];
     }
-    box.resize(kept);
     const RoundTopo& tp = topo(r);
     timed_phase(exp_.wall_.aggregate_seconds, [&] {
       exp_.nodes_[i]->aggregate(exp_.network_, tp.graph, tp.weights, r,
@@ -439,12 +490,12 @@ void EventEngine::process_local_step(const Event& event,
     min_round = std::min<std::size_t>(min_round, rr);
   }
   evict_topo_below(min_round);
-  if (maybe_evaluate(event.time, result)) return;  // target reached
+  if (maybe_evaluate(result)) return;  // target reached
   start_round(i, event.time);
   unblock_ready(event.time);
 }
 
-bool EventEngine::maybe_evaluate(double now, ExperimentResult& result) {
+bool EventEngine::maybe_evaluate(ExperimentResult& result) {
   const ExperimentConfig& cfg = exp_.config_;
   while (next_eval_round_ < cfg.rounds) {
     std::uint64_t min_completed = round_[0];
@@ -463,13 +514,12 @@ bool EventEngine::maybe_evaluate(double now, ExperimentResult& result) {
     }
     mean_train_loss =
         trained == 0 ? 0.0 : mean_train_loss / static_cast<double>(trained);
-    MetricPoint point =
+    // evaluate() reads the Network clock, which the event loop advances at
+    // event granularity (advance_time): sim_seconds is the time of the
+    // event being processed, and the compute/comm split is cumulative,
+    // monotone, and sums to it exactly.
+    const MetricPoint point =
         exp_.evaluate(next_eval_round_ + 1, mean_train_loss);
-    // The global clock is the event clock here; no finish_round() ever runs,
-    // and overlapping phases have no meaningful compute/comm split.
-    point.sim_seconds = now;
-    point.sim_compute_seconds = 0.0;
-    point.sim_comm_seconds = 0.0;
     result.series.push_back(point);
     if (cfg.target_accuracy > 0.0 &&
         point.test_accuracy >= cfg.target_accuracy) {
@@ -481,7 +531,7 @@ bool EventEngine::maybe_evaluate(double now, ExperimentResult& result) {
   return false;
 }
 
-ExperimentResult EventEngine::run_bounded() {
+ExperimentResult EventEngine::run_event_loop() {
   ExperimentResult result;
   const ExperimentConfig& cfg = exp_.config_;
   const std::size_t n = exp_.nodes_.size();
@@ -502,19 +552,33 @@ ExperimentResult EventEngine::run_bounded() {
     if (cfg.stop_at_sim_time > 0.0 && event.time > cfg.stop_at_sim_time) {
       // Budget cut: events at times <= the budget were processed; whatever
       // is still queued — this event included — never happens. Arrivals
-      // among them are the in-flight messages of the conservation ledger.
+      // among them are the in-flight messages of the conservation ledger;
+      // their edge records retire too, so every record is accounted for
+      // (delivered, dropped, or cut) by the time the run ends.
       if (event.kind == EventKind::kMessageArrival) {
         ++stats_.messages_in_flight;
+        exp_.network_.retire_transfer(event.message.sender, event.node);
       }
       while (!queue_.empty()) {
-        if (queue_.pop().kind == EventKind::kMessageArrival) {
+        const Event cut = queue_.pop();
+        if (cut.kind == EventKind::kMessageArrival) {
           ++stats_.messages_in_flight;
+          exp_.network_.retire_transfer(cut.message.sender, cut.node);
         }
       }
       break;
     }
+    // Phase attribution at event granularity (the mid-flight compute/comm
+    // fix): the slice since the previous event counts as compute while any
+    // node is inside a training interval, as communication otherwise. The
+    // Network clock therefore advances with the event clock, its split
+    // monotone and summing to the total exactly.
+    exp_.network_.advance_time(event.time - now_, training_count_ > 0);
     now_ = event.time;
     ++stats_.events_processed;
+    if (event.kind == EventKind::kTrainDone) {
+      --training_count_;  // i's training interval ends at this instant
+    }
     switch (event.kind) {
       case EventKind::kTrainDone:
         process_train_done(event);
@@ -567,17 +631,13 @@ ExperimentResult EventEngine::run_bounded() {
     }
     mean_train_loss =
         trained == 0 ? 0.0 : mean_train_loss / static_cast<double>(trained);
-    MetricPoint point = exp_.evaluate(result.rounds_run, mean_train_loss);
-    point.sim_seconds = now_;
-    point.sim_compute_seconds = 0.0;
-    point.sim_comm_seconds = 0.0;
+    // The Network clock stands at the last processed event (advance_time),
+    // so the final point's sim_seconds and its compute/comm split need no
+    // override — collect_summary() reads the same clocks.
+    const MetricPoint point = exp_.evaluate(result.rounds_run, mean_train_loss);
     result.series.push_back(point);
   }
   exp_.collect_summary(result);
-  // collect_summary() reads the Network clock, which never advanced (no
-  // finish_round under genuine asynchrony): the run's simulated duration is
-  // the last processed event time.
-  result.sim_seconds = now_;
   return result;
 }
 

@@ -137,7 +137,11 @@ class EventEngine : private net::DeliverySink {
   void on_deliver(std::uint32_t to, net::Message msg) override;
 
   ExperimentResult run_barrier();
-  ExperimentResult run_bounded();
+  /// The genuine event loop: bounded-staleness barrier aggregation
+  /// (async_mode = barrier, staleness_bound > 0) and the gate-free
+  /// free/weighted modes all run here; only the exact sync reduction
+  /// (barrier with B == 0) takes run_barrier().
+  ExperimentResult run_event_loop();
 
   // --- bounded-staleness helpers -----------------------------------------
   struct RoundTopo {
@@ -164,7 +168,7 @@ class EventEngine : private net::DeliverySink {
   void unblock_ready(double now);
   /// Emits due global evaluations (all nodes past the eval round) and the
   /// target-accuracy stop. Returns true when the run should terminate.
-  bool maybe_evaluate(double now, ExperimentResult& result);
+  bool maybe_evaluate(ExperimentResult& result);
 
   bool node_alive(std::uint32_t i, std::size_t round) const;
 
@@ -179,6 +183,13 @@ class EventEngine : private net::DeliverySink {
   /// Barrier mode routes arrivals straight to the Network mailbox; bounded
   /// mode stages them in inbox_ under the staleness rule.
   bool barrier_mode_ = true;
+  /// Aggregation discipline (config mirror): kBarrier gates on the
+  /// staleness bound; kFree/kWeighted never gate and apply every arrival.
+  AsyncMode mode_ = AsyncMode::kBarrier;
+  /// Nodes currently inside a training interval — the event loop's phase
+  /// attribution: an elapsed slice counts as compute while any node trains,
+  /// as communication otherwise (docs/SIMULATION.md "Phase attribution").
+  std::size_t training_count_ = 0;
 
   // Per-node asynchrony state (bounded mode).
   std::vector<std::uint32_t> round_;        ///< current local round

@@ -31,6 +31,15 @@ const char* engine_name(EngineKind kind) {
   return "unknown";
 }
 
+const char* async_mode_name(AsyncMode mode) {
+  switch (mode) {
+    case AsyncMode::kBarrier: return "barrier";
+    case AsyncMode::kFree: return "free";
+    case AsyncMode::kWeighted: return "weighted";
+  }
+  return "unknown";
+}
+
 namespace {
 
 /// Stream tag separating each node's mini-batch sampler from its other
@@ -74,6 +83,15 @@ std::vector<std::string> ExperimentConfig::validate() const {
   require(staleness_bound == 0 || engine == EngineKind::kAsync,
           "staleness_bound: requires engine = async (the synchronous loop "
           "has no staleness to bound)");
+  require(async_mode == AsyncMode::kBarrier || engine == EngineKind::kAsync,
+          "async_mode: free/weighted require engine = async (the "
+          "synchronous loop has no asynchrony to aggregate under)");
+  require(async_mode == AsyncMode::kBarrier || staleness_bound == 0,
+          "staleness_bound: only async_mode = barrier has a staleness gate "
+          "to bound (free/weighted apply every arrival)");
+  require(std::isfinite(staleness_decay) && staleness_decay > 0.0 &&
+              staleness_decay <= 1.0,
+          "staleness_decay: must be in (0, 1] (1 = no decay)");
   require(std::isfinite(stop_at_sim_time) && stop_at_sim_time >= 0.0,
           "stop_at_sim_time: must be >= 0 (seconds of simulated time; 0 = "
           "off)");
@@ -159,6 +177,15 @@ Experiment::Experiment(ExperimentConfig config, nn::ModelFactory factory,
             rank, std::move(model), std::move(sampler), train_config,
             config_.power_gossip));
         break;
+    }
+  }
+  // Staleness-weighted mixing (AsyncMode::kWeighted): nodes scale each
+  // contribution by staleness_decay^age at aggregation time. The other
+  // modes leave the default decay of 1.0, whose scaling path is the
+  // bit-identical no-op every golden test pins.
+  if (config_.async_mode == AsyncMode::kWeighted) {
+    for (auto& node : nodes_) {
+      node->set_staleness_decay(config_.staleness_decay);
     }
   }
   eval_batch_ = data::full_batch(*test_, config_.eval_sample_limit);
@@ -350,6 +377,12 @@ double EventEngineStats::local_steps_mean() const noexcept {
   double sum = 0.0;
   for (const std::uint64_t s : local_steps) sum += static_cast<double>(s);
   return sum / static_cast<double>(local_steps.size());
+}
+
+double EventEngineStats::mean_contribution_age() const noexcept {
+  if (contributions_applied == 0) return 0.0;
+  return static_cast<double>(contribution_age_sum) /
+         static_cast<double>(contributions_applied);
 }
 
 }  // namespace jwins::sim

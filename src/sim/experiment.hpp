@@ -64,6 +64,27 @@ enum class EngineKind { kSync, kAsync };
 
 const char* engine_name(EngineKind kind);
 
+/// Aggregation discipline of the asynchronous engine — how a node treats the
+/// messages that have (or have not) arrived when its local step fires:
+///
+///  * kBarrier — the bounded-staleness rule PR 6 shipped: a node waits until
+///    every expected neighbor has been heard within `staleness_bound` rounds
+///    (B == 0 is the exact synchronous reduction). The only mode with a
+///    staleness *gate*.
+///  * kFree — fully asynchronous gossip: no gate, no staleness drops. A node
+///    aggregates whatever has arrived when its local step completes; mixing
+///    weights renormalize over the neighbors actually heard (the partial-
+///    averaging denominator already does exactly this).
+///  * kWeighted — like kFree, but each contribution is down-weighted by its
+///    age: a payload produced s rounds before the receiver's current round
+///    mixes with weight w_ij * staleness_decay^s (stale gossip fades instead
+///    of being dropped).
+///
+/// docs/SIMULATION.md "Aggregation modes" gives the three update formulas.
+enum class AsyncMode { kBarrier, kFree, kWeighted };
+
+const char* async_mode_name(AsyncMode mode);
+
 struct ExperimentConfig {
   Algorithm algorithm = Algorithm::kJwins;
   std::size_t rounds = 100;
@@ -125,6 +146,18 @@ struct ExperimentConfig {
   /// engines; under kAsync it is the natural termination mode for runs
   /// where nodes complete different round counts.
   double stop_at_sim_time = 0.0;
+
+  /// Aggregation discipline under engine = kAsync (see AsyncMode). The
+  /// default keeps the PR 6 bounded-staleness semantics — and, with
+  /// staleness_bound == 0, the byte-exact synchronous reduction. free and
+  /// weighted require engine = kAsync and drop the staleness gate, so
+  /// staleness_bound must stay 0 under them; validate() enforces both.
+  AsyncMode async_mode = AsyncMode::kBarrier;
+
+  /// Age-decay base lambda for async_mode = kWeighted: a contribution s
+  /// rounds stale mixes with weight w_ij * lambda^s. Must be in (0, 1];
+  /// 1.0 makes kWeighted coincide with kFree. Ignored by the other modes.
+  double staleness_decay = 0.5;
 
   // Algorithm-specific knobs.
   double random_sampling_fraction = 0.37;
@@ -190,6 +223,9 @@ struct SimTimeBreakdown {
 struct EventEngineStats {
   bool enabled = false;
   bool extended = false;
+  /// Aggregation discipline the run used (mirrors config; names the
+  /// per-mode JSON block).
+  AsyncMode mode = AsyncMode::kBarrier;
   std::uint64_t events_processed = 0;
   std::size_t max_queue_depth = 0;
   /// Messages that survived failure injection and reached their receiver's
@@ -205,8 +241,23 @@ struct EventEngineStats {
   /// was lost to failure injection).
   std::uint64_t staleness_overrides = 0;
   /// staleness_histogram[s] = messages applied s rounds after the round
-  /// they were produced in (s <= staleness_bound).
+  /// they were produced in (s <= staleness_bound under kBarrier; free and
+  /// weighted runs grow the histogram to whatever ages actually occurred).
   std::vector<std::uint64_t> staleness_histogram;
+  /// effective_neighbors[k] = local steps that aggregated exactly k heard
+  /// contributions (free/weighted modes only — under the barrier gate the
+  /// count is pinned by the gate, so the histogram is not collected).
+  std::vector<std::uint64_t> effective_neighbors;
+  /// Sum of contribution ages (receiver round - message round tag, floored
+  /// at 0) over every applied contribution; with contributions_applied it
+  /// yields mean_contribution_age(). Free/weighted modes only.
+  std::uint64_t contribution_age_sum = 0;
+  std::uint64_t contributions_applied = 0;
+  /// High-water mark of live per-sender transfer records inside
+  /// net::TimeModel (the round_edges_ cache). Records retire as their
+  /// transfers deliver or drop, so this stays bounded by the in-flight
+  /// message count no matter how long a stop_at_sim_time run gets.
+  std::size_t edge_records_high_water = 0;
   /// Local rounds completed per node; under stragglers + a budget these
   /// genuinely diverge (the paper-motivating asynchrony signal).
   std::vector<std::uint64_t> local_steps;
@@ -214,6 +265,7 @@ struct EventEngineStats {
   std::uint64_t local_steps_min() const noexcept;
   std::uint64_t local_steps_max() const noexcept;
   double local_steps_mean() const noexcept;
+  double mean_contribution_age() const noexcept;
 };
 
 struct ExperimentResult {

@@ -139,6 +139,7 @@ void write_result_json(std::ostream& os, const std::string& label,
   if (result.event_engine.extended) {
     const EventEngineStats& ee = result.event_engine;
     os << "  \"event_engine\": {\n";
+    os << "    \"async_mode\": \"" << async_mode_name(ee.mode) << "\",\n";
     os << "    \"events_processed\": " << ee.events_processed << ",\n";
     os << "    \"max_queue_depth\": " << ee.max_queue_depth << ",\n";
     os << "    \"messages_delivered\": " << ee.messages_delivered << ",\n";
@@ -151,6 +152,20 @@ void write_result_json(std::ostream& os, const std::string& label,
       os << (i == 0 ? "" : ", ") << ee.staleness_histogram[i];
     }
     os << "],\n";
+    // Per-mode block: only the gate-free modes collect the effective-
+    // neighbor histogram and contribution ages (under the barrier gate the
+    // neighbor count is pinned by the gate itself).
+    if (ee.mode != AsyncMode::kBarrier) {
+      os << "    \"effective_neighbors\": [";
+      for (std::size_t i = 0; i < ee.effective_neighbors.size(); ++i) {
+        os << (i == 0 ? "" : ", ") << ee.effective_neighbors[i];
+      }
+      os << "],\n";
+      os << "    \"mean_contribution_age\": "
+         << json_number(ee.mean_contribution_age()) << ",\n";
+    }
+    os << "    \"edge_records_high_water\": " << ee.edge_records_high_water
+       << ",\n";
     os << "    \"local_steps\": {\"min\": " << ee.local_steps_min()
        << ", \"max\": " << ee.local_steps_max()
        << ", \"mean\": " << json_number(ee.local_steps_mean()) << "}\n";

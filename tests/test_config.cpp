@@ -100,6 +100,24 @@ TEST(ScenarioParse, RoundTripsValuesCommentsAndWhitespace) {
   EXPECT_EQ(run.config.threads, 2u);
 }
 
+TEST(ScenarioParse, AsyncModeAndDecayKeys) {
+  const auto runs = expand(
+      "engine = async\nasync_mode = weighted\nstaleness_decay = 0.6\n");
+  ASSERT_EQ(runs.size(), 1u);
+  EXPECT_EQ(runs.front().config.engine, sim::EngineKind::kAsync);
+  EXPECT_EQ(runs.front().config.async_mode, sim::AsyncMode::kWeighted);
+  EXPECT_DOUBLE_EQ(runs.front().config.staleness_decay, 0.6);
+  const auto defaults = expand("");
+  EXPECT_EQ(defaults.front().config.async_mode, sim::AsyncMode::kBarrier);
+  EXPECT_EQ(expand("engine = async\nasync_mode = free\n")
+                .front()
+                .config.async_mode,
+            sim::AsyncMode::kFree);
+  expect_error_contains("async_mode = sometimes\n", "async_mode");
+  expect_error_contains("staleness_decay = 0\n", "staleness_decay");
+  expect_error_contains("staleness_decay = 1.5\n", "staleness_decay");
+}
+
 TEST(ScenarioParse, NameKeyAndFileStemNaming) {
   RawScenario raw = parse_scenario_text("name = my_exp\nrounds = 3\n", "stem");
   EXPECT_EQ(raw.name, "my_exp");

@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <random>
+#include <span>
 
 #include "core/averaging.hpp"
 #include "core/cutoff.hpp"
@@ -351,6 +352,77 @@ TEST(PartialAverage, ValidatesInputs) {
   bad_idx.values = {1.0f};
   const std::vector<WeightedContribution> c3{{0.5, &bad_idx}};
   EXPECT_THROW(partial_average(own, 0.5, c3), std::out_of_range);
+}
+
+TEST(PartialAverageScaled, ScaleEqualsReweighting) {
+  // Scaling a contribution by s is exactly the same convex combination as
+  // shrinking its mixing weight to s * w (numerator AND denominator).
+  std::vector<float> scaled_own{1.0f, 2.0f};
+  std::vector<float> reweighted_own = scaled_own;
+  SparsePayload p;
+  p.vector_length = 2;
+  p.values = {9.0f, 5.0f};
+  const std::vector<WeightedContribution> contribs{{0.4, &p}};
+  const std::vector<double> scales{0.5};
+  partial_average(scaled_own, 0.6, contribs,
+                  std::span<const double>(scales));
+  const std::vector<WeightedContribution> shrunk{{0.4 * 0.5, &p}};
+  partial_average(reweighted_own, 0.6, shrunk);
+  EXPECT_EQ(scaled_own, reweighted_own);
+}
+
+TEST(PartialAverageScaled, StaysConvexAndRenormalized) {
+  // With scales < 1 the effective weights no longer sum to 1, but the
+  // per-coordinate denominator renormalizes: the result is still a convex
+  // combination of own value and contributions.
+  std::vector<float> own{0.0f};
+  SparsePayload p1;
+  p1.vector_length = 1;
+  p1.values = {10.0f};
+  SparsePayload p2;
+  p2.vector_length = 1;
+  p2.values = {20.0f};
+  const std::vector<WeightedContribution> contribs{{0.25, &p1}, {0.25, &p2}};
+  const std::vector<double> scales{0.5, 0.25};
+  partial_average(own, 0.5, contribs, std::span<const double>(scales));
+  // (0.5*0 + 0.125*10 + 0.0625*20) / (0.5 + 0.125 + 0.0625) = 2.5/0.6875
+  EXPECT_NEAR(own[0], 2.5f / 0.6875f, 1e-5f);
+  EXPECT_GE(own[0], 0.0f);
+  EXPECT_LE(own[0], 20.0f);
+}
+
+TEST(PartialAverageScaled, AllOnesIsBitIdenticalToLegacy) {
+  // scale == 1.0 multiplies by exactly 1.0 in IEEE arithmetic, so the
+  // scaled overload with unit scales must produce the same bytes as the
+  // legacy overload — the guarantee the weighted async mode's lambda = 1
+  // reduction rests on.
+  std::mt19937 rng(77);
+  std::normal_distribution<float> dist(0.0f, 1.0f);
+  std::vector<float> a(64), b;
+  for (float& v : a) v = dist(rng);
+  b = a;
+  SparsePayload p;
+  p.vector_length = 64;
+  p.indices = compress::random_indices(64, 32, 9);
+  p.values.resize(32);
+  for (float& v : p.values) v = dist(rng);
+  const std::vector<WeightedContribution> contribs{{0.37, &p}};
+  const std::vector<double> ones{1.0};
+  partial_average(a, 0.63, contribs, std::span<const double>(ones));
+  partial_average(b, 0.63, contribs);
+  EXPECT_EQ(a, b);
+}
+
+TEST(PartialAverageScaled, ScaleCountMismatchThrows) {
+  std::vector<float> own{1.0f};
+  SparsePayload p;
+  p.vector_length = 1;
+  p.values = {2.0f};
+  const std::vector<WeightedContribution> contribs{{0.5, &p}};
+  const std::vector<double> scales{0.5, 0.5};  // two scales, one contribution
+  EXPECT_THROW(
+      partial_average(own, 0.5, contribs, std::span<const double>(scales)),
+      std::invalid_argument);
 }
 
 }  // namespace

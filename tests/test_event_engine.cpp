@@ -671,6 +671,307 @@ TEST(EventEngineBounded, JwinsTracksAlpha) {
   EXPECT_LE(r.mean_alpha, 1.0);
 }
 
+// ------------------------------------------ free & weighted async modes
+
+ExperimentConfig mode_config(std::size_t rounds, AsyncMode mode) {
+  ExperimentConfig cfg = mini_config(rounds);
+  cfg.engine = EngineKind::kAsync;
+  cfg.async_mode = mode;
+  return cfg;
+}
+
+/// Heterogeneity that makes the gate-free modes interesting: slow links and
+/// a straggling minority, so arrivals genuinely straddle round boundaries.
+void add_heterogeneity(ExperimentConfig& cfg) {
+  cfg.time.latency_dist = {net::LinkDist::Kind::kUniform, 0.002, 0.040};
+  cfg.time.straggler_fraction = 0.3;
+  cfg.time.straggler_slowdown = 4.0;
+}
+
+TEST(AsyncModes, ModeNames) {
+  EXPECT_STREQ(async_mode_name(AsyncMode::kBarrier), "barrier");
+  EXPECT_STREQ(async_mode_name(AsyncMode::kFree), "free");
+  EXPECT_STREQ(async_mode_name(AsyncMode::kWeighted), "weighted");
+}
+
+TEST(AsyncModes, ValidationRequiresAsyncEngine) {
+  ExperimentConfig cfg = mini_config(4);
+  cfg.async_mode = AsyncMode::kFree;  // engine still kSync
+  const auto errors = cfg.validate();
+  ASSERT_FALSE(errors.empty());
+  EXPECT_NE(errors.front().find("async_mode"), std::string::npos);
+  cfg.engine = EngineKind::kAsync;
+  EXPECT_TRUE(cfg.validate().empty());
+}
+
+TEST(AsyncModes, ValidationRejectsStalenessBoundWithFree) {
+  ExperimentConfig cfg = mini_config(4);
+  cfg.engine = EngineKind::kAsync;
+  cfg.async_mode = AsyncMode::kFree;
+  cfg.staleness_bound = 2;  // free mode has no gate to bound
+  const auto errors = cfg.validate();
+  ASSERT_FALSE(errors.empty());
+  EXPECT_NE(errors.front().find("staleness_bound"), std::string::npos);
+}
+
+TEST(AsyncModes, ValidationRejectsBadDecay) {
+  ExperimentConfig cfg = mini_config(4);
+  cfg.engine = EngineKind::kAsync;
+  cfg.async_mode = AsyncMode::kWeighted;
+  for (const double bad : {0.0, -0.5, 1.5,
+                           std::numeric_limits<double>::quiet_NaN()}) {
+    cfg.staleness_decay = bad;
+    const auto errors = cfg.validate();
+    ASSERT_FALSE(errors.empty()) << "decay " << bad;
+    EXPECT_NE(errors.front().find("staleness_decay"), std::string::npos);
+  }
+  cfg.staleness_decay = 1.0;  // inclusive upper edge: no decay
+  EXPECT_TRUE(cfg.validate().empty());
+}
+
+TEST(AsyncFree, TerminatesAndConserves) {
+  ExperimentConfig cfg = mode_config(10, AsyncMode::kFree);
+  add_heterogeneity(cfg);
+  auto exp = make_mini(cfg, 6, 4);
+  const ExperimentResult r = exp->run();
+  EXPECT_EQ(r.rounds_run, 10u);
+  const EventEngineStats& ee = r.event_engine;
+  EXPECT_TRUE(ee.extended);
+  EXPECT_EQ(ee.mode, AsyncMode::kFree);
+  // No gate: nothing is ever dropped for age, nothing force-unblocked.
+  EXPECT_EQ(ee.messages_stale_dropped, 0u);
+  EXPECT_EQ(ee.staleness_overrides, 0u);
+  EXPECT_EQ(r.total_traffic.messages_sent,
+            ee.messages_delivered + r.sim_time.dropped_total +
+                ee.messages_in_flight);
+}
+
+TEST(AsyncFree, EffectiveNeighborAccountingIsConsistent) {
+  ExperimentConfig cfg = mode_config(12, AsyncMode::kFree);
+  add_heterogeneity(cfg);
+  auto exp = make_mini(cfg, 6, 4);
+  const ExperimentResult r = exp->run();
+  const EventEngineStats& ee = r.event_engine;
+  // Every applied contribution is counted once in the age histogram, once
+  // in the effective-neighbor histogram's weighted sum, and once in
+  // contributions_applied — three views of the same ledger.
+  std::uint64_t hist_total = 0;
+  for (const std::uint64_t c : ee.staleness_histogram) hist_total += c;
+  EXPECT_EQ(hist_total, ee.contributions_applied);
+  std::uint64_t weighted = 0, steps = 0;
+  for (std::size_t k = 0; k < ee.effective_neighbors.size(); ++k) {
+    weighted += ee.effective_neighbors[k] * k;
+    steps += ee.effective_neighbors[k];
+  }
+  EXPECT_EQ(weighted, ee.contributions_applied);
+  // One effective-neighbor sample per alive aggregation (= one per local
+  // step here: no crash windows in this config).
+  std::uint64_t local_steps = 0;
+  for (const std::uint64_t s : ee.local_steps) local_steps += s;
+  EXPECT_EQ(steps, local_steps);
+  // Applied <= delivered: late arrivals can outlive the final local step.
+  EXPECT_LE(ee.contributions_applied, ee.messages_delivered);
+  EXPECT_GT(ee.contributions_applied, 0u);
+  // Mean age is the ledger ratio.
+  EXPECT_DOUBLE_EQ(ee.mean_contribution_age(),
+                   static_cast<double>(ee.contribution_age_sum) /
+                       static_cast<double>(ee.contributions_applied));
+}
+
+TEST(AsyncFree, ReplayIsBitIdentical) {
+  ExperimentConfig cfg = mode_config(10, AsyncMode::kFree);
+  add_heterogeneity(cfg);
+  cfg.eval_every = 2;
+  auto a = make_mini(cfg, 6, 4);
+  auto b = make_mini(cfg, 6, 4);
+  const ExperimentResult ra = a->run();
+  const ExperimentResult rb = b->run();
+  EXPECT_EQ(json_of(ra), json_of(rb));
+  for (std::size_t i = 0; i < 6; ++i) {
+    EXPECT_EQ(a->node(i).flat_params(), b->node(i).flat_params());
+  }
+}
+
+TEST(AsyncFree, ThreadCountDoesNotChangeResults) {
+  ExperimentConfig cfg = mode_config(8, AsyncMode::kFree);
+  add_heterogeneity(cfg);
+  cfg.eval_every = 2;
+  auto seq = make_mini(cfg, 4);
+  cfg.threads = 4;
+  auto par = make_mini(cfg, 4);
+  const ExperimentResult rs = seq->run();
+  const ExperimentResult rp = par->run();
+  EXPECT_EQ(json_of(rs), json_of(rp));
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(seq->node(i).flat_params(), par->node(i).flat_params());
+  }
+}
+
+TEST(AsyncFree, JsonCarriesPerModeBlock) {
+  ExperimentConfig cfg = mode_config(6, AsyncMode::kFree);
+  add_heterogeneity(cfg);
+  auto exp = make_mini(cfg, 4);
+  const std::string json = json_of(exp->run());
+  EXPECT_NE(json.find("\"async_mode\": \"free\""), std::string::npos);
+  EXPECT_NE(json.find("\"effective_neighbors\""), std::string::npos);
+  EXPECT_NE(json.find("\"mean_contribution_age\""), std::string::npos);
+  EXPECT_NE(json.find("\"edge_records_high_water\""), std::string::npos);
+}
+
+TEST(AsyncWeighted, DecayOneMatchesFreeBitForBit) {
+  // lambda = 1 multiplies every contribution by exactly 1.0 — the weighted
+  // aggregation path must reduce to free mode on the model bytes.
+  ExperimentConfig cfg = mode_config(10, AsyncMode::kFree);
+  add_heterogeneity(cfg);
+  auto free_exp = make_mini(cfg, 6, 4);
+  const ExperimentResult rf = free_exp->run();
+  cfg.async_mode = AsyncMode::kWeighted;
+  cfg.staleness_decay = 1.0;
+  auto weighted_exp = make_mini(cfg, 6, 4);
+  const ExperimentResult rw = weighted_exp->run();
+  for (std::size_t i = 0; i < 6; ++i) {
+    EXPECT_EQ(free_exp->node(i).flat_params(),
+              weighted_exp->node(i).flat_params())
+        << "node " << i;
+  }
+  EXPECT_EQ(rf.final_accuracy, rw.final_accuracy);
+  EXPECT_EQ(rf.final_loss, rw.final_loss);
+  EXPECT_EQ(rf.event_engine.contributions_applied,
+            rw.event_engine.contributions_applied);
+  EXPECT_EQ(rw.event_engine.mode, AsyncMode::kWeighted);
+}
+
+TEST(AsyncWeighted, DecayChangesTheModelWhenContributionsAge) {
+  // Slow links + stragglers guarantee aged contributions; lambda < 1 then
+  // must actually move the aggregate.
+  ExperimentConfig cfg = mode_config(12, AsyncMode::kFree);
+  add_heterogeneity(cfg);
+  cfg.compute_seconds_per_round = 0.005;  // links several rounds long
+  auto free_exp = make_mini(cfg, 6, 4);
+  const ExperimentResult rf = free_exp->run();
+  ASSERT_GT(rf.event_engine.contribution_age_sum, 0u)
+      << "config produced no aged contributions; the decay comparison "
+         "would be vacuous";
+  cfg.async_mode = AsyncMode::kWeighted;
+  cfg.staleness_decay = 0.5;
+  auto weighted_exp = make_mini(cfg, 6, 4);
+  (void)weighted_exp->run();
+  bool any_differs = false;
+  for (std::size_t i = 0; i < 6; ++i) {
+    any_differs = any_differs || free_exp->node(i).flat_params() !=
+                                     weighted_exp->node(i).flat_params();
+  }
+  EXPECT_TRUE(any_differs);
+}
+
+TEST(AsyncWeighted, ReplayIsBitIdentical) {
+  ExperimentConfig cfg = mode_config(10, AsyncMode::kWeighted);
+  cfg.staleness_decay = 0.6;
+  add_heterogeneity(cfg);
+  auto a = make_mini(cfg, 6, 4);
+  auto b = make_mini(cfg, 6, 4);
+  const ExperimentResult ra = a->run();
+  const ExperimentResult rb = b->run();
+  EXPECT_EQ(json_of(ra), json_of(rb));
+  for (std::size_t i = 0; i < 6; ++i) {
+    EXPECT_EQ(a->node(i).flat_params(), b->node(i).flat_params());
+  }
+}
+
+TEST(AsyncWeighted, AllAlgorithmsTerminateUnderDecay) {
+  for (const Algorithm algo :
+       {Algorithm::kFullSharing, Algorithm::kRandomSampling, Algorithm::kJwins,
+        Algorithm::kChoco, Algorithm::kPowerGossip}) {
+    ExperimentConfig cfg = mode_config(6, AsyncMode::kWeighted);
+    cfg.algorithm = algo;
+    cfg.staleness_decay = 0.7;
+    add_heterogeneity(cfg);
+    auto exp = make_mini(cfg, 4);
+    const ExperimentResult r = exp->run();
+    EXPECT_EQ(r.rounds_run, 6u) << algorithm_name(algo);
+    EXPECT_TRUE(std::isfinite(r.final_loss)) << algorithm_name(algo);
+  }
+}
+
+// ------------------------- async accounting fixes (this engine revision)
+
+TEST(AsyncAccounting, PhaseSplitSumsToSimTimeMidFlight) {
+  // The mid-flight fix: evaluation points sampled between round boundaries
+  // used to report a 0/undefined compute/comm split. Now the split is
+  // attributed at event granularity, so every MetricPoint satisfies
+  // compute + comm == sim_seconds exactly, and all three are monotone.
+  ExperimentConfig cfg = bounded_config(16, 2);
+  add_heterogeneity(cfg);
+  cfg.eval_every = 2;
+  auto exp = make_mini(cfg, 6, 4);
+  const ExperimentResult r = exp->run();
+  ASSERT_GT(r.series.size(), 2u);
+  double prev_total = 0.0, prev_compute = 0.0, prev_comm = 0.0;
+  for (const MetricPoint& p : r.series) {
+    EXPECT_EQ(p.sim_compute_seconds + p.sim_comm_seconds, p.sim_seconds)
+        << "round " << p.round;
+    EXPECT_GE(p.sim_seconds, prev_total);
+    EXPECT_GE(p.sim_compute_seconds, prev_compute);
+    EXPECT_GE(p.sim_comm_seconds, prev_comm);
+    prev_total = p.sim_seconds;
+    prev_compute = p.sim_compute_seconds;
+    prev_comm = p.sim_comm_seconds;
+  }
+  // Both phases genuinely occur in a straggler + latency run.
+  EXPECT_GT(r.series.back().sim_compute_seconds, 0.0);
+  EXPECT_GT(r.series.back().sim_comm_seconds, 0.0);
+  // And the run-level summary agrees with the final point's clock.
+  EXPECT_EQ(r.sim_time.compute_seconds + r.sim_time.comm_seconds,
+            r.sim_seconds);
+}
+
+TEST(AsyncAccounting, FreeModeSplitAlsoSums) {
+  ExperimentConfig cfg = mode_config(10, AsyncMode::kFree);
+  add_heterogeneity(cfg);
+  cfg.eval_every = 2;
+  auto exp = make_mini(cfg, 4);
+  const ExperimentResult r = exp->run();
+  for (const MetricPoint& p : r.series) {
+    EXPECT_EQ(p.sim_compute_seconds + p.sim_comm_seconds, p.sim_seconds);
+  }
+  EXPECT_GT(r.sim_seconds, 0.0);
+}
+
+TEST(AsyncAccounting, EdgeRecordsRetireAndStayBounded) {
+  // The leak fix: a long stop_at_sim_time run must not accumulate edge
+  // records — each retires when its transfer is delivered, dropped, or cut,
+  // so the live count ends at zero and the high-water mark stays near the
+  // in-flight ceiling instead of the total message count.
+  ExperimentConfig cfg = mode_config(400, AsyncMode::kFree);
+  add_heterogeneity(cfg);
+  cfg.eval_every = 100;
+  cfg.stop_at_sim_time = 0.6;
+  auto exp = make_mini(cfg, 6, 4);
+  const ExperimentResult r = exp->run();
+  const net::TimeModel& tm = exp->network().time_model();
+  EXPECT_TRUE(tm.retire_records());
+  EXPECT_EQ(tm.edge_record_count(), 0u);
+  EXPECT_GT(tm.edge_records_high_water(), 0u);
+  // Bounded: far below the total send count a leak would accumulate.
+  EXPECT_GT(r.total_traffic.messages_sent, 100u);
+  EXPECT_LT(tm.edge_records_high_water(),
+            r.total_traffic.messages_sent / 2);
+  // The stat is surfaced in the result block too.
+  EXPECT_EQ(r.event_engine.edge_records_high_water,
+            tm.edge_records_high_water());
+}
+
+TEST(AsyncAccounting, BarrierKeepsLegacyRecordPath) {
+  // Plain barrier runs keep the legacy merge-at-round-boundary path (and
+  // its byte-identical JSON): retirement stays off.
+  ExperimentConfig cfg = mini_config(5);
+  cfg.engine = EngineKind::kAsync;
+  auto exp = make_mini(cfg, 4);
+  (void)exp->run();
+  EXPECT_FALSE(exp->network().time_model().retire_records());
+  EXPECT_EQ(exp->network().time_model().edge_records_high_water(), 0u);
+}
+
 // ------------------------------ sub-round crash semantics (both engines)
 
 /// The seeded crash-victim choice, reconstructed exactly as the Experiment

@@ -286,6 +286,22 @@ FuzzRun run_async_fuzz(unsigned seed) {
     cfg.stop_at_sim_time =
         cfg.compute_seconds_per_round * static_cast<double>(rounds) * 0.6;
   }
+  // Aggregation mode, drawn LAST so barrier seeds keep their exact draw
+  // sequence. Free/weighted have no staleness gate: the drawn bound is
+  // overridden to 0 (config validation enforces the same rule).
+  switch (rng() % 3) {
+    case 0:
+      break;  // barrier, whatever bound was drawn
+    case 1:
+      cfg.async_mode = sim::AsyncMode::kFree;
+      cfg.staleness_bound = 0;
+      break;
+    default:
+      cfg.async_mode = sim::AsyncMode::kWeighted;
+      cfg.staleness_bound = 0;
+      cfg.staleness_decay = 0.25 + 0.25 * static_cast<double>(rng() % 3);
+      break;
+  }
 
   data::Partition partition(n, {0, 1, 2, 3});
   auto counter = std::make_shared<std::size_t>(0);
@@ -323,8 +339,10 @@ TEST_P(AsyncEngineFuzz, TerminatesConservesAndReplaysBitIdentically) {
   ASSERT_NO_THROW(a = run_async_fuzz(seed)) << "seed " << seed;
   const sim::ExperimentResult& r = a.result;
   const sim::EventEngineStats& ee = r.event_engine;
-  SCOPED_TRACE(::testing::Message() << "seed " << seed << " nodes? bound "
-                                    << a.cfg.staleness_bound);
+  SCOPED_TRACE(::testing::Message()
+               << "seed " << seed << " mode "
+               << sim::async_mode_name(a.cfg.async_mode) << " bound "
+               << a.cfg.staleness_bound);
   ASSERT_TRUE(ee.enabled);
   EXPECT_GT(ee.events_processed, 0u);
 
@@ -333,13 +351,35 @@ TEST_P(AsyncEngineFuzz, TerminatesConservesAndReplaysBitIdentically) {
             ee.messages_delivered + r.sim_time.dropped_total +
                 ee.messages_in_flight);
 
-  // Histogram consistency: each applied message fell inside the window, and
-  // applied + stale-dropped never exceeds deliveries (the remainder is
-  // messages still buffered when their receiver finished).
-  ASSERT_EQ(ee.staleness_histogram.size(), a.cfg.staleness_bound + 1);
+  // Histogram consistency. Barrier: each applied message fell inside the
+  // gate's window [0, B], and applied + stale-dropped never exceeds
+  // deliveries (the remainder is messages still buffered when their
+  // receiver finished). Free/weighted: no gate, so nothing is ever dropped
+  // for age and the effective-neighbor ledger must agree with the age
+  // histogram contribution for contribution.
   std::uint64_t applied = 0;
   for (const std::uint64_t c : ee.staleness_histogram) applied += c;
   EXPECT_LE(applied + ee.messages_stale_dropped, ee.messages_delivered);
+  if (a.cfg.async_mode == sim::AsyncMode::kBarrier) {
+    ASSERT_EQ(ee.staleness_histogram.size(), a.cfg.staleness_bound + 1);
+  } else {
+    EXPECT_EQ(ee.messages_stale_dropped, 0u);
+    EXPECT_EQ(ee.staleness_overrides, 0u);
+    EXPECT_EQ(applied, ee.contributions_applied);
+    std::uint64_t weighted = 0;
+    for (std::size_t k = 0; k < ee.effective_neighbors.size(); ++k) {
+      weighted += ee.effective_neighbors[k] * k;
+    }
+    EXPECT_EQ(weighted, ee.contributions_applied);
+  }
+
+  // Phase attribution: outside plain-barrier mode the compute/comm split is
+  // advanced at event granularity and must sum to the clock exactly.
+  if (a.cfg.staleness_bound > 0 ||
+      a.cfg.async_mode != sim::AsyncMode::kBarrier) {
+    EXPECT_EQ(r.sim_time.compute_seconds + r.sim_time.comm_seconds,
+              r.sim_seconds);
+  }
 
   // Termination shape: rounds never overshoot, and without a budget every
   // node finishes all rounds with the queue fully drained.
