@@ -42,6 +42,17 @@ void ChocoNode::share(net::Network& network, const graph::Graph& g,
                                  scratch.quantized);
     own_indices_.clear();  // dense
     compress::qsgd_dequantize_into(scratch.quantized, own_values_);
+    if (is_byzantine()) {
+      // Wire-only corruption: own_values_ keeps the honest dequantized
+      // vector (the node self-applies it in aggregate()), while the wire
+      // carries a corrupted diff re-quantized under a salted stream.
+      const std::span<float> bad = scratch.arena.alloc<float>(n);
+      std::copy(diff.begin(), diff.end(), bad.begin());
+      corrupt_wire_values(bad, round);
+      core::CounterRng bad_rng = round_rng(round, kByzantineStream + 1);
+      compress::qsgd_quantize_into(bad, options_.qsgd_levels, bad_rng,
+                                   scratch.quantized);
+    }
     net::ByteWriter writer(network.pool().acquire());
     compress::qsgd_serialize_into(scratch.quantized, writer);
     msg.sender = rank();
@@ -57,13 +68,24 @@ void ChocoNode::share(net::Network& network, const graph::Graph& g,
     core::PayloadView payload;
     payload.vector_length = static_cast<std::uint32_t>(n);
     payload.indices = own_indices_;
-    payload.values = own_values_;
+    if (is_byzantine()) {
+      // own_values_ is self-applied in aggregate(), so the wire gets a
+      // corrupted arena copy and the attacker's own state stays honest.
+      const std::span<float> wire =
+          scratch.arena.alloc<float>(own_values_.size());
+      std::copy(own_values_.begin(), own_values_.end(), wire.begin());
+      corrupt_wire_values(wire, round);
+      payload.values = wire;
+    } else {
+      payload.values = own_values_;
+    }
     core::PayloadOptions msg_options;
     msg_options.index_encoding = options_.index_encoding;
     msg_options.value_encoding = options_.value_encoding;
     msg = core::make_message(rank(), round, payload, msg_options,
                              network.pool(), scratch.bits);
   }
+  if (is_byzantine()) note_corrupted_sends(g.neighbors(rank()).size());
   for (std::size_t j : g.neighbors(rank())) {
     network.send(static_cast<std::uint32_t>(j), msg);
   }
@@ -92,30 +114,58 @@ void ChocoNode::aggregate(net::Network& network, const graph::Graph& g,
   // s += Σ_j w_ij q_j (neighbor contributions; under weighted async mode
   // the mixing weight additionally carries the λ^staleness age decay —
   // exactly weight_of() outside it).
-  for (const net::Message& msg : inbox) {
-    const double w = contribution_weight(g, weights, msg, round);
-    if (options_.compressor == Compressor::kQsgd) {
-      // Zero-copy: the packed bitstream is read in place from the
-      // refcounted body, never materialized into scratch.
-      const compress::QuantizedView q = compress::qsgd_view(msg.body);
-      compress::qsgd_dequantize_into(q, scratch.floats);
-      if (scratch.floats.size() != s_.size()) {
-        throw std::out_of_range("ChocoNode: quantized vector length mismatch");
-      }
-      for (std::size_t i = 0; i < scratch.floats.size(); ++i) {
-        s_[i] += static_cast<float>(w * scratch.floats[i]);
-      }
-    } else {
-      core::SparsePayload& payload = scratch.payloads.next();
-      core::decode_payload_into(msg.body, payload, scratch.arena);
-      for (std::size_t i = 0; i < payload.indices.size(); ++i) {
-        const std::uint32_t idx = payload.indices[i];
-        if (idx >= s_.size()) {
-          throw std::out_of_range("ChocoNode: received index out of range");
+  if (robust_agg().kind == core::RobustAggKind::kNone) {
+    for (const net::Message& msg : inbox) {
+      const double w = contribution_weight(g, weights, msg, round);
+      if (options_.compressor == Compressor::kQsgd) {
+        // Zero-copy: the packed bitstream is read in place from the
+        // refcounted body, never materialized into scratch.
+        const compress::QuantizedView q = compress::qsgd_view(msg.body);
+        compress::qsgd_dequantize_into(q, scratch.floats);
+        if (scratch.floats.size() != s_.size()) {
+          throw std::out_of_range("ChocoNode: quantized vector length mismatch");
         }
-        s_[idx] += static_cast<float>(w * payload.values[i]);
+        for (std::size_t i = 0; i < scratch.floats.size(); ++i) {
+          s_[i] += static_cast<float>(w * scratch.floats[i]);
+        }
+      } else {
+        core::SparsePayload& payload = scratch.payloads.next();
+        core::decode_payload_into(msg.body, payload, scratch.arena);
+        for (std::size_t i = 0; i < payload.indices.size(); ++i) {
+          const std::uint32_t idx = payload.indices[i];
+          if (idx >= s_.size()) {
+            throw std::out_of_range("ChocoNode: received index out of range");
+          }
+          s_[idx] += static_cast<float>(w * payload.values[i]);
+        }
       }
     }
+  } else {
+    // Robust path: materialize every neighbor diff first (the order-
+    // statistic rules need them simultaneously; pool references are stable
+    // only once all payloads are decoded), then merge through the
+    // configured rule. qsgd payloads dequantize into pool slots here
+    // instead of the streaming scratch buffer.
+    for (const net::Message& msg : inbox) {
+      core::SparsePayload& payload = scratch.payloads.next();
+      if (options_.compressor == Compressor::kQsgd) {
+        const compress::QuantizedView q = compress::qsgd_view(msg.body);
+        compress::qsgd_dequantize_into(q, payload.values);
+        if (payload.values.size() != s_.size()) {
+          throw std::out_of_range("ChocoNode: quantized vector length mismatch");
+        }
+        payload.vector_length = static_cast<std::uint32_t>(s_.size());
+      } else {
+        core::decode_payload_into(msg.body, payload, scratch.arena);
+      }
+    }
+    for (std::size_t i = 0; i < inbox.size(); ++i) {
+      scratch.contributions.push_back(
+          {contribution_weight(g, weights, inbox[i], round),
+           &scratch.payloads[i]});
+    }
+    core::robust_accumulate_diffs(robust_agg(), s_, scratch.contributions,
+                                  scratch.arena, &robust_counters_mutable());
   }
   // Consensus step: x += γ (s - x̂) where s - x̂ = Σ_j w_ij (x̂_j - x̂_i).
   const std::span<float> x = scratch.arena.alloc<float>(param_count());

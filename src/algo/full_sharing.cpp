@@ -17,6 +17,12 @@ void FullSharingNode::share(net::Network& network, const graph::Graph& g,
   scratch.reset();
   const std::span<float> x = scratch.arena.alloc<float>(param_count());
   flat_params_into(x);
+  // Wire-only corruption: x is the arena staging copy, never written back,
+  // so a byzantine node poisons its broadcast while training honestly.
+  if (is_byzantine()) {
+    corrupt_wire_values(x, round);
+    note_corrupted_sends(g.neighbors(rank()).size());
+  }
   core::PayloadView payload;
   payload.vector_length = static_cast<std::uint32_t>(x.size());
   payload.values = x;
@@ -53,13 +59,8 @@ void FullSharingNode::aggregate(net::Network& network, const graph::Graph& g,
   }
   const std::span<float> x = scratch.arena.alloc<float>(param_count());
   flat_params_into(x);
-  if (scaled) {
-    core::partial_average(x, weights.self_weight[rank()], scratch.contributions,
-                          scratch.contribution_scales, scratch.arena);
-  } else {
-    core::partial_average(x, weights.self_weight[rank()], scratch.contributions,
-                          scratch.arena);
-  }
+  robust_average(x, weights.self_weight[rank()], scratch.contributions,
+                 scratch.contribution_scales, scaled, scratch.arena);
   set_flat_params(x);
 }
 

@@ -42,7 +42,17 @@ void JwinsNode::share(net::Network& network, const graph::Graph& g,
     // Full share: dense wavelet vector, no index metadata.
     sent_dense_ = true;
     sent_indices_.clear();
-    payload.values = own_coeffs_;
+    if (is_byzantine()) {
+      // own_coeffs_ is reused as this node's own contribution in
+      // aggregate(), so corruption goes through an arena copy: the wire is
+      // poisoned, the attacker's own aggregation stays honest.
+      const std::span<float> wire = scratch.arena.alloc<float>(coeff_len);
+      std::copy(own_coeffs_.begin(), own_coeffs_.end(), wire.begin());
+      corrupt_wire_values(wire, round);
+      payload.values = wire;
+    } else {
+      payload.values = own_coeffs_;
+    }
     msg_options.index_encoding = core::IndexEncoding::kDense;
   } else {
     sent_dense_ = false;
@@ -55,10 +65,14 @@ void JwinsNode::share(net::Network& network, const graph::Graph& g,
     const std::span<float> values =
         scratch.arena.alloc<float>(sent_indices_.size());
     compress::gather_into(own_coeffs_, sent_indices_, values);
+    // The gathered span is wire staging (own_coeffs_ keeps the honest
+    // coefficients), so sparse corruption happens in place.
+    if (is_byzantine()) corrupt_wire_values(values, round);
     payload.indices = sent_indices_;
     payload.values = values;
     msg_options.index_encoding = options_.index_encoding;
   }
+  if (is_byzantine()) note_corrupted_sends(g.neighbors(rank()).size());
   // One refcounted, pool-recycled body shared by every neighbor.
   const net::Message msg = core::make_message(
       rank(), round, payload, msg_options, network.pool(), scratch.bits);
@@ -87,15 +101,11 @@ void JwinsNode::aggregate(net::Network& network, const graph::Graph& g,
     scratch.contribution_scales.push_back(scale);
     scaled = scaled || scale != 1.0;
   }
-  // Algorithm 1, line 10: average received wavelet coefficients with our own.
-  if (scaled) {
-    core::partial_average(own_coeffs_, weights.self_weight[rank()],
-                          scratch.contributions, scratch.contribution_scales,
-                          scratch.arena);
-  } else {
-    core::partial_average(own_coeffs_, weights.self_weight[rank()],
-                          scratch.contributions, scratch.arena);
-  }
+  // Algorithm 1, line 10: average received wavelet coefficients with our
+  // own (through the robust rule when one is configured).
+  robust_average(own_coeffs_, weights.self_weight[rank()],
+                 scratch.contributions, scratch.contribution_scales, scaled,
+                 scratch.arena);
   // Line 11: invert back to the parameter domain.
   const std::span<float> x_next = scratch.arena.alloc<float>(param_count());
   ranker_.inverse_into(own_coeffs_, x_next, scratch.dwt);

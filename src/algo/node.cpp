@@ -1,10 +1,53 @@
 #include "algo/node.hpp"
 
+#include <algorithm>
 #include <cmath>
+#include <utility>
 
 #include "nn/flat.hpp"
 
 namespace jwins::algo {
+
+namespace {
+
+/// Salt of the byzantine victim *choice* hash (derive_seed stream tag) —
+/// distinct from kByzantineStream (the per-round corruption draws) and from
+/// every net::TimeModel salt, so the byzantine set is an independent draw
+/// from the crash set.
+constexpr std::uint64_t kSaltByzantineChoice = 0xBADC;
+
+}  // namespace
+
+const char* byzantine_mode_name(ByzantineMode mode) {
+  switch (mode) {
+    case ByzantineMode::kRandom: return "random";
+    case ByzantineMode::kSignFlip: return "sign_flip";
+    case ByzantineMode::kScale: return "scale";
+  }
+  return "unknown";
+}
+
+std::vector<std::uint32_t> byzantine_victims(std::uint64_t seed,
+                                             std::size_t nodes,
+                                             std::size_t count) {
+  // Mirror of net::TimeModel's crash-set construction: hash every node,
+  // sort, take the first `count`. A pure function of (seed, nodes), so the
+  // same set is reproducible from config validation, the Experiment wiring,
+  // and tests.
+  std::vector<std::pair<std::uint64_t, std::uint32_t>> order;
+  order.reserve(nodes);
+  for (std::size_t i = 0; i < nodes; ++i) {
+    order.emplace_back(core::derive_seed(seed, i, 0, kSaltByzantineChoice),
+                       static_cast<std::uint32_t>(i));
+  }
+  std::sort(order.begin(), order.end());
+  std::vector<std::uint32_t> victims;
+  const std::size_t k = std::min(count, nodes);
+  victims.reserve(k);
+  for (std::size_t i = 0; i < k; ++i) victims.push_back(order[i].second);
+  std::sort(victims.begin(), victims.end());
+  return victims;
+}
 
 DlNode::DlNode(std::uint32_t rank, std::unique_ptr<nn::SupervisedModel> model,
                data::Sampler sampler, TrainConfig config)
@@ -73,6 +116,52 @@ double DlNode::contribution_weight(const graph::Graph& g,
   // scale == 1.0 exactly on the undecayed path: return the unmultiplied
   // double so sync/barrier aggregation stays bit-identical.
   return scale == 1.0 ? base : base * scale;
+}
+
+void DlNode::corrupt_wire_values(std::span<float> values, std::uint32_t round,
+                                 std::uint64_t salt) {
+  switch (byzantine_mode_) {
+    case ByzantineMode::kSignFlip:
+      for (float& v : values) v = -v;
+      break;
+    case ByzantineMode::kScale: {
+      const float k = static_cast<float>(byzantine_scale_);
+      for (float& v : values) v *= k;
+      break;
+    }
+    case ByzantineMode::kRandom: {
+      // Seeded garbage of roughly unit magnitude, decoupled from the honest
+      // values: a fresh counter stream per (node, round, span), so threaded
+      // and replayed runs corrupt identically.
+      core::CounterRng rng = round_rng(round, kByzantineStream + salt);
+      for (float& v : values) {
+        v = static_cast<float>((rng() >> 11) * 0x1.0p-53 * 2.0 - 1.0);
+      }
+      break;
+    }
+  }
+}
+
+void DlNode::robust_average(
+    std::span<float> own, double self_weight,
+    std::span<const core::WeightedContribution> contributions,
+    std::span<const double> contribution_scales, bool scaled,
+    core::Arena& arena) {
+  if (robust_.kind == core::RobustAggKind::kNone) {
+    // Exactly the overload selection the algorithms performed before the
+    // robust layer existed — golden runs stay byte-identical.
+    if (scaled) {
+      core::partial_average(own, self_weight, contributions,
+                            contribution_scales, arena);
+    } else {
+      core::partial_average(own, self_weight, contributions, arena);
+    }
+    return;
+  }
+  core::robust_partial_average(
+      robust_, own, self_weight, contributions,
+      scaled ? contribution_scales : std::span<const double>{}, arena,
+      &robust_counters_);
 }
 
 }  // namespace jwins::algo

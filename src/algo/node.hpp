@@ -17,7 +17,10 @@
 
 #include <cstdint>
 #include <memory>
+#include <span>
+#include <vector>
 
+#include "core/averaging.hpp"
 #include "core/rng.hpp"
 #include "core/scratch.hpp"
 #include "data/dataset.hpp"
@@ -27,6 +30,29 @@
 #include "nn/sgd.hpp"
 
 namespace jwins::algo {
+
+/// How a byzantine node corrupts the payloads it transmits. Corruption is
+/// wire-only: the attacker trains and aggregates honestly (its own model
+/// stays sane), but every value span it encodes for the network is replaced
+/// just before serialization, so the corruption flows through the real
+/// codec/network path on both engines (docs/SIMULATION.md "Adversarial
+/// behavior").
+enum class ByzantineMode {
+  kRandom,    ///< replace values with seeded uniform [-1, 1) noise
+  kSignFlip,  ///< negate every value
+  kScale,     ///< multiply every value by a constant k
+};
+
+const char* byzantine_mode_name(ByzantineMode mode);
+
+/// Seeded byzantine victim choice — the same construction net::TimeModel
+/// uses for its crash set (sort every node by a derived hash, take the first
+/// `count`), under a distinct salt so crash and byzantine sets are
+/// independent draws. A pure function of (seed, nodes), so validation code
+/// can reproduce the set without building an Experiment. Returned ascending.
+std::vector<std::uint32_t> byzantine_victims(std::uint64_t seed,
+                                             std::size_t nodes,
+                                             std::size_t count);
 
 struct TrainConfig {
   std::size_t local_steps = 1;  ///< tau in the paper
@@ -90,6 +116,34 @@ class DlNode {
   void set_staleness_decay(double lambda) noexcept { staleness_decay_ = lambda; }
   double staleness_decay() const noexcept { return staleness_decay_; }
 
+  /// Marks this node as a byzantine attacker: from now on share() corrupts
+  /// every value span it puts on the wire (ByzantineMode semantics). Never
+  /// called on honest nodes, whose share() path stays bit-identical to the
+  /// pre-adversarial engine.
+  void set_byzantine(ByzantineMode mode, double scale) noexcept {
+    byzantine_ = true;
+    byzantine_mode_ = mode;
+    byzantine_scale_ = scale;
+  }
+  bool is_byzantine() const noexcept { return byzantine_; }
+
+  /// Robust-aggregation countermeasure applied at this node's aggregation
+  /// step. The default (kNone) routes through core::partial_average
+  /// unchanged — the exact legacy path.
+  void set_robust_agg(const core::RobustAggConfig& config) noexcept {
+    robust_ = config;
+  }
+
+  /// Messages this node put on the wire with corrupted values (0 on honest
+  /// nodes); collected into the result JSON's "byzantine" block.
+  std::uint64_t corrupted_messages() const noexcept {
+    return corrupted_messages_;
+  }
+  /// What the robust rule discarded/shrank at this node's aggregations.
+  const core::RobustAggCounters& robust_counters() const noexcept {
+    return robust_counters_;
+  }
+
  protected:
   /// Mixing weight w_{rank,sender}; returns 0 for non-neighbors.
   static double weight_of(const graph::Graph& g,
@@ -118,6 +172,37 @@ class DlNode {
     return core::CounterRng(config_.seed, rank_, round, salt);
   }
 
+  /// Stream tag of the byzantine corruption draws (round_rng salt base);
+  /// algorithms needing a second adversarial stream in the same round (e.g.
+  /// CHOCO's re-quantization of the corrupted diff) offset from it.
+  static constexpr std::uint64_t kByzantineStream = 0xBAD1;
+
+  /// Applies the configured corruption to a wire-bound value span, in place.
+  /// Only ever called under is_byzantine(); `salt` disambiguates multiple
+  /// corrupted spans in one round (per-edge payloads, per-block arrays).
+  void corrupt_wire_values(std::span<float> values, std::uint32_t round,
+                           std::uint64_t salt = 0);
+
+  /// Books `messages` corrupted sends (called by share() next to the actual
+  /// network.send fan-out).
+  void note_corrupted_sends(std::size_t messages) noexcept {
+    corrupted_messages_ += static_cast<std::uint64_t>(messages);
+  }
+
+  /// Routes Algorithm 1's partial averaging through the configured robust
+  /// rule. kNone picks the exact overload the pre-adversarial code called
+  /// (scaled only when a scale differs from 1.0), so golden runs stay
+  /// byte-identical.
+  void robust_average(std::span<float> own, double self_weight,
+                      std::span<const core::WeightedContribution> contributions,
+                      std::span<const double> contribution_scales, bool scaled,
+                      core::Arena& arena);
+
+  const core::RobustAggConfig& robust_agg() const noexcept { return robust_; }
+  core::RobustAggCounters& robust_counters_mutable() noexcept {
+    return robust_counters_;
+  }
+
  private:
   std::uint32_t rank_;
   std::unique_ptr<nn::SupervisedModel> model_;
@@ -125,6 +210,12 @@ class DlNode {
   TrainConfig config_;
   nn::Sgd optimizer_;
   double staleness_decay_ = 1.0;  ///< 1.0 = no decay (exact no-op scaling)
+  bool byzantine_ = false;
+  ByzantineMode byzantine_mode_ = ByzantineMode::kSignFlip;
+  double byzantine_scale_ = 1.0;
+  core::RobustAggConfig robust_;
+  core::RobustAggCounters robust_counters_;
+  std::uint64_t corrupted_messages_ = 0;
 };
 
 }  // namespace jwins::algo

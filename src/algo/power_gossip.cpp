@@ -66,6 +66,19 @@ void PowerGossipNode::share(net::Network& network, const graph::Graph& g,
   const std::span<float> x = scratch.arena.alloc<float>(param_count());
   flat_params_into(x);
   const bool phase_a = (round % 2 == 0);
+  // Wire-only corruption: own_p/own_q members must stay honest (the node
+  // compares them against the neighbor's reply in aggregate()), so a
+  // byzantine node writes a corrupted arena copy per block. Payloads differ
+  // per edge, so the salt folds in (neighbor, block) to decorrelate the
+  // random-mode garbage across edges.
+  const auto wire_span = [&](const std::vector<float>& honest, std::size_t j,
+                             std::size_t b) -> std::span<const float> {
+    if (!is_byzantine()) return honest;
+    const std::span<float> wire = scratch.arena.alloc<float>(honest.size());
+    std::copy(honest.begin(), honest.end(), wire.begin());
+    corrupt_wire_values(wire, round, (j + 1) * 256 + b);
+    return wire;
+  };
   for (std::size_t j : g.neighbors(rank())) {
     EdgeState& state = edge(j);
     // The per-edge payload differs, so each neighbor gets its own pooled
@@ -85,7 +98,7 @@ void PowerGossipNode::share(net::Network& network, const graph::Graph& g,
           }
           bs.own_p[r] = static_cast<float>(acc);
         }
-        writer.write_f32_array(bs.own_p);
+        writer.write_f32_array(wire_span(bs.own_p, j, b));
       } else {
         // q = M^T u.
         bs.own_q.assign(block.cols, 0.0f);
@@ -96,7 +109,7 @@ void PowerGossipNode::share(net::Network& network, const graph::Graph& g,
             bs.own_q[c] += ur * m[r * block.cols + c];
           }
         }
-        writer.write_f32_array(bs.own_q);
+        writer.write_f32_array(wire_span(bs.own_q, j, b));
       }
     }
     net::Message msg;
@@ -105,6 +118,7 @@ void PowerGossipNode::share(net::Network& network, const graph::Graph& g,
     msg.body = network.pool().adopt(std::move(writer).take());
     msg.metadata_bytes = 4 * blocks_.size();  // array length prefixes
     network.send(static_cast<std::uint32_t>(j), msg);
+    if (is_byzantine()) note_corrupted_sends(1);
   }
 }
 
@@ -153,6 +167,22 @@ void PowerGossipNode::aggregate(net::Network& network, const graph::Graph& g,
         const std::span<float> dq = scratch.arena.alloc<float>(block.cols);
         for (std::size_t c = 0; c < block.cols; ++c) {
           dq[c] = lower ? bs.own_q[c] - theirs[c] : theirs[c] - bs.own_q[c];
+        }
+        // norm_clip robust rule: dq is the only magnitude a neighbor
+        // controls (phase A's u is normalized away), so clipping ||dq||
+        // bounds a byzantine neighbor's per-step influence. The other
+        // order-statistic rules are undefined for per-edge rank-1 payloads
+        // and rejected at config validation.
+        if (robust_agg().kind == core::RobustAggKind::kNormClip) {
+          double clip_sq = 0.0;
+          for (const float v : dq) clip_sq += static_cast<double>(v) * v;
+          const double dq_norm = std::sqrt(clip_sq);
+          if (dq_norm > robust_agg().clip_norm) {
+            const float f =
+                static_cast<float>(robust_agg().clip_norm / dq_norm);
+            for (float& v : dq) v *= f;
+            ++robust_counters_mutable().clipped_contributions;
+          }
         }
         // Gossip step, scaled by the Metropolis-Hastings weight as in the
         // original (x_i += gamma w_ij (x_j - x_i) along the estimated

@@ -37,6 +37,12 @@ void RandomSamplingNode::share(net::Network& network, const graph::Graph& g,
   compress::random_indices_into(n, k, seed, indices_, scratch.arena);
   const std::span<float> values = scratch.arena.alloc<float>(indices_.size());
   compress::gather_into(x, indices_, values);
+  // Wire-only corruption: the gathered values are arena staging, the model
+  // itself stays honest.
+  if (is_byzantine()) {
+    corrupt_wire_values(values, round);
+    note_corrupted_sends(g.neighbors(rank()).size());
+  }
   core::PayloadView payload;
   payload.vector_length = static_cast<std::uint32_t>(n);
   payload.indices = indices_;
@@ -74,13 +80,8 @@ void RandomSamplingNode::aggregate(net::Network& network, const graph::Graph& g,
   }
   const std::span<float> x = scratch.arena.alloc<float>(param_count());
   flat_params_into(x);
-  if (scaled) {
-    core::partial_average(x, weights.self_weight[rank()], scratch.contributions,
-                          scratch.contribution_scales, scratch.arena);
-  } else {
-    core::partial_average(x, weights.self_weight[rank()], scratch.contributions,
-                          scratch.arena);
-  }
+  robust_average(x, weights.self_weight[rank()], scratch.contributions,
+                 scratch.contribution_scales, scaled, scratch.arena);
   set_flat_params(x);
 }
 

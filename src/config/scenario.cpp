@@ -222,6 +222,78 @@ net::EdgeDropDist parse_edge_drop(const std::string& key,
                 "\" (valid: off, fixed:<p>, uniform:<lo>:<hi>)");
 }
 
+/// Byzantine attack-mode grammar (colon-separated like the cutoff spec):
+///   random        replace wire values with seeded uniform [-1, 1) noise
+///   sign_flip     negate every wire value
+///   scale:<k>     multiply every wire value by k (finite)
+/// Writes both the mode and the scale multiplier into `config`.
+void parse_byzantine_mode(const std::string& key, const std::string& value,
+                          sim::ExperimentConfig& config) {
+  if (value == "random") {
+    config.byzantine_mode = algo::ByzantineMode::kRandom;
+    return;
+  }
+  if (value == "sign_flip") {
+    config.byzantine_mode = algo::ByzantineMode::kSignFlip;
+    return;
+  }
+  const std::string_view sv = value;
+  if (sv.rfind("scale:", 0) == 0) {
+    double k = 0.0;
+    const std::string_view rest = sv.substr(6);
+    if (!parse_full(rest, k) || !std::isfinite(k)) {
+      fail(key, "scale:<k> multiplier must be a finite number (got \"" +
+                    std::string(rest) + "\")");
+    }
+    config.byzantine_mode = algo::ByzantineMode::kScale;
+    config.byzantine_scale = k;
+    return;
+  }
+  fail(key, "unknown attack mode \"" + value +
+                "\" (valid: random, sign_flip, scale:<k>)");
+}
+
+/// Robust-aggregation grammar:
+///   none                 plain partial averaging (the exact legacy path)
+///   trimmed_mean:<f>     trim fraction f in [0, 0.5) from each end
+///   median               coordinate-wise unweighted median
+///   norm_clip:<c>        clip each contribution's L2 deviation to c > 0
+core::RobustAggConfig parse_robust_agg(const std::string& key,
+                                       const std::string& value) {
+  core::RobustAggConfig config;
+  if (value == "none") return config;
+  if (value == "median") {
+    config.kind = core::RobustAggKind::kMedian;
+    return config;
+  }
+  const std::string_view sv = value;
+  if (sv.rfind("trimmed_mean:", 0) == 0) {
+    double f = 0.0;
+    const std::string_view rest = sv.substr(13);
+    if (!parse_full(rest, f) || !(f >= 0.0) || f >= 0.5) {
+      fail(key, "trimmed_mean:<f> trim fraction must be in [0, 0.5) (got \"" +
+                    std::string(rest) + "\"; trimming half or more leaves no "
+                    "survivors)");
+    }
+    config.kind = core::RobustAggKind::kTrimmedMean;
+    config.trim_fraction = f;
+    return config;
+  }
+  if (sv.rfind("norm_clip:", 0) == 0) {
+    double c = 0.0;
+    const std::string_view rest = sv.substr(10);
+    if (!parse_full(rest, c) || !std::isfinite(c) || !(c > 0.0)) {
+      fail(key, "norm_clip:<c> clip norm must be > 0 (got \"" +
+                    std::string(rest) + "\")");
+    }
+    config.kind = core::RobustAggKind::kNormClip;
+    config.clip_norm = c;
+    return config;
+  }
+  fail(key, "unknown robust rule \"" + value +
+                "\" (valid: none, trimmed_mean:<f>, median, norm_clip:<c>)");
+}
+
 core::IndexEncoding parse_index_encoding(const std::string& key,
                                          const std::string& value) {
   if (value == "elias-gamma") return core::IndexEncoding::kEliasGamma;
@@ -565,6 +637,34 @@ const std::vector<KeySpec>& key_specs() {
               parse_double_in("staleness_decay", v, 0.0, 1.0, true, "(0, 1]");
         });
 
+    // --- adversarial behavior --------------------------------------------
+    add({"byzantine_nodes", "uint", "0 (off)", "< nodes",
+         "Number of byzantine attackers: a seeded hash over node ids picks "
+         "the victim set (like crash_nodes, under a distinct salt), and each "
+         "attacker corrupts its outgoing payloads per byzantine_mode while "
+         "training and aggregating honestly"},
+        [](ScenarioRun& r, const std::string& v) {
+          r.config.byzantine_nodes = parse_uint("byzantine_nodes", v);
+        });
+    add({"byzantine_mode", "string", "sign_flip",
+         "random, sign_flip, scale:<k>",
+         "Wire-corruption rule for byzantine attackers: random = seeded "
+         "uniform [-1, 1) garbage, sign_flip = negate every value, "
+         "scale:<k> = multiply every value by k"},
+        [](ScenarioRun& r, const std::string& v) {
+          parse_byzantine_mode("byzantine_mode", v, r.config);
+        });
+    add({"robust_agg", "string", "none",
+         "none, trimmed_mean:<f>, median, norm_clip:<c>",
+         "Robust aggregation rule applied to received contributions: none = "
+         "plain partial averaging (the exact legacy path), trimmed_mean:<f> "
+         "= coordinate-wise mean after trimming fraction f in [0, 0.5) from "
+         "each end, median = coordinate-wise median, norm_clip:<c> = shrink "
+         "each contribution's deviation to L2 norm at most c"},
+        [](ScenarioRun& r, const std::string& v) {
+          r.config.robust_agg = parse_robust_agg("robust_agg", v);
+        });
+
     // --- algorithm knobs -------------------------------------------------
     add({"random_sampling_fraction", "float", "0.37", "(0, 1]",
          "Random-sampling baseline: fraction of parameters shared per round"},
@@ -706,7 +806,7 @@ void validate_cross_field(const ScenarioRun& run) {
   sim::ExperimentConfig probe = run.config;
   if (run.auto_learning_rate) probe.sgd.learning_rate = 0.05f;
   if (run.auto_local_steps) probe.local_steps = 1;
-  const std::vector<std::string> errors = probe.validate();
+  const std::vector<std::string> errors = probe.validate(run.nodes);
   if (!errors.empty()) throw ScenarioError(errors.front());
 }
 

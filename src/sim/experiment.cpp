@@ -57,7 +57,7 @@ void timed_phase(double& slot, Fn&& fn) {
 
 }  // namespace
 
-std::vector<std::string> ExperimentConfig::validate() const {
+std::vector<std::string> ExperimentConfig::validate(std::size_t nodes) const {
   std::vector<std::string> errors;
   auto require = [&](bool ok, const char* message) {
     if (!ok) errors.emplace_back(message);
@@ -116,6 +116,50 @@ std::vector<std::string> ExperimentConfig::validate() const {
           "choco_fraction: must be in (0, 1]");
   require(choco.qsgd_levels >= 1, "choco_qsgd_levels: must be >= 1");
   require(power_gossip.gamma > 0.0, "power_gossip_gamma: must be > 0");
+  require(std::isfinite(byzantine_scale),
+          "byzantine_mode: scale multiplier must be finite");
+  require(robust_agg.trim_fraction >= 0.0 && robust_agg.trim_fraction < 0.5,
+          "robust_agg: trim fraction must be in [0, 0.5) (trimming half or "
+          "more leaves no survivors)");
+  require(robust_agg.kind != core::RobustAggKind::kNormClip ||
+              (std::isfinite(robust_agg.clip_norm) &&
+               robust_agg.clip_norm > 0.0),
+          "robust_agg: clip norm must be > 0");
+  require(algorithm != Algorithm::kPowerGossip ||
+              (robust_agg.kind != core::RobustAggKind::kTrimmedMean &&
+               robust_agg.kind != core::RobustAggKind::kMedian),
+          "robust_agg: trimmed_mean/median are undefined for power-gossip "
+          "(per-edge rank-1 payloads have no coordinate-wise aggregate); "
+          "use none or norm_clip");
+  if (nodes > 0 && byzantine_nodes > 0) {
+    if (byzantine_nodes >= nodes) {
+      errors.push_back("byzantine_nodes: must leave at least one honest node "
+                       "(got byzantine_nodes=" +
+                       std::to_string(byzantine_nodes) +
+                       ", nodes=" + std::to_string(nodes) + ")");
+    } else if (time.crash_nodes > 0 && time.crash_nodes < nodes) {
+      // Latent-gap fix: the crash and byzantine victim sets are independent
+      // seeded draws, so they can collide — a node that is simultaneously
+      // crashed and byzantine would silently mount no attack during its
+      // crash window. Reproduce both sets (pure functions of seed/nodes)
+      // and reject the overlap.
+      const net::TimeModel probe(nodes, link, time, seed);
+      std::string overlap;
+      for (const std::uint32_t v :
+           algo::byzantine_victims(seed, nodes, byzantine_nodes)) {
+        if (probe.node_crashes(v)) {
+          if (!overlap.empty()) overlap += ", ";
+          overlap += std::to_string(v);
+        }
+      }
+      if (!overlap.empty()) {
+        errors.push_back(
+            "byzantine_nodes: node(s) " + overlap +
+            " are both crashed and byzantine (the seeded victim sets "
+            "overlap; change seed, crash_nodes, or byzantine_nodes)");
+      }
+    }
+  }
   return errors;
 }
 
@@ -132,7 +176,7 @@ Experiment::Experiment(ExperimentConfig config, nn::ModelFactory factory,
       pool_(config_.threads) {
   const std::size_t n = partition.size();
   if (n == 0) throw std::invalid_argument("Experiment: empty partition");
-  if (const auto errors = config_.validate(); !errors.empty()) {
+  if (const auto errors = config_.validate(n); !errors.empty()) {
     std::string joined = "Experiment: invalid config";
     for (const std::string& e : errors) joined += "\n  " + e;
     throw std::invalid_argument(joined);
@@ -187,6 +231,21 @@ Experiment::Experiment(ExperimentConfig config, nn::ModelFactory factory,
     for (auto& node : nodes_) {
       node->set_staleness_decay(config_.staleness_decay);
     }
+  }
+  // Adversarial behavior: mark the seeded victim set (corruption is applied
+  // inside share(), so it flows through the real codec/network path on both
+  // engines) and install the robust countermeasure on every node. Honest,
+  // defense-free runs never enter either branch — the bit-identical legacy
+  // path tests/test_byzantine.cpp pins.
+  if (config_.byzantine_nodes > 0) {
+    for (const std::uint32_t v : algo::byzantine_victims(
+             config_.seed, n, config_.byzantine_nodes)) {
+      nodes_[v]->set_byzantine(config_.byzantine_mode,
+                               config_.byzantine_scale);
+    }
+  }
+  if (config_.robust_agg.kind != core::RobustAggKind::kNone) {
+    for (auto& node : nodes_) node->set_robust_agg(config_.robust_agg);
   }
   eval_batch_ = data::full_batch(*test_, config_.eval_sample_limit);
   if (config_.message_drop_probability > 0.0) {
@@ -356,6 +415,25 @@ void Experiment::collect_summary(ExperimentResult& result) {
   result.sim_time.dropped_crash = tm.dropped_crash();
   result.sim_time.crashed_node_rounds = tm.crashed_node_rounds();
   result.sim_time.stragglers = tm.straggler_count();
+  // Attack/defense accounting (gated exactly like sim_time/event_engine:
+  // absent on benign, defense-free runs so their JSON stays byte-identical).
+  result.byzantine.extended =
+      config_.byzantine_nodes > 0 ||
+      config_.robust_agg.kind != core::RobustAggKind::kNone;
+  if (result.byzantine.extended) {
+    result.byzantine.mode = config_.byzantine_mode;
+    result.byzantine.robust_agg = config_.robust_agg.kind;
+    for (const auto& node : nodes_) {
+      if (node->is_byzantine()) {
+        result.byzantine.attackers.push_back(node->rank());
+      }
+      result.byzantine.corrupted_messages += node->corrupted_messages();
+      result.byzantine.trimmed_entries +=
+          node->robust_counters().trimmed_entries;
+      result.byzantine.clipped_contributions +=
+          node->robust_counters().clipped_contributions;
+    }
+  }
 }
 
 std::uint64_t EventEngineStats::local_steps_min() const noexcept {

@@ -159,6 +159,22 @@ struct ExperimentConfig {
   /// 1.0 makes kWeighted coincide with kFree. Ignored by the other modes.
   double staleness_decay = 0.5;
 
+  /// Adversarial participants: this many nodes (a seeded deterministic
+  /// choice, algo::byzantine_victims — independent of the crash set) corrupt
+  /// every payload they transmit under `byzantine_mode`, while training and
+  /// aggregating honestly themselves. 0 = no attack, the bit-identical
+  /// legacy path (docs/SIMULATION.md "Adversarial behavior").
+  std::size_t byzantine_nodes = 0;
+  algo::ByzantineMode byzantine_mode = algo::ByzantineMode::kSignFlip;
+  /// Multiplier for byzantine_mode = kScale (scenario key
+  /// `byzantine_mode = scale:<k>`); ignored by the other modes.
+  double byzantine_scale = 1.0;
+
+  /// Robust-aggregation countermeasure applied at every node's aggregation
+  /// step (core/averaging.hpp). kNone = plain partial averaging, the exact
+  /// legacy path.
+  core::RobustAggConfig robust_agg;
+
   // Algorithm-specific knobs.
   double random_sampling_fraction = 0.37;
   algo::JwinsNode::Options jwins;
@@ -169,7 +185,11 @@ struct ExperimentConfig {
   /// violation (empty = valid). Experiment's constructor throws on any
   /// violation; config::expand_grid and the jwins_run CLI report them as
   /// `error: <key>: <why>` diagnostics before anything runs.
-  std::vector<std::string> validate() const;
+  ///
+  /// `nodes` enables the checks that need the node count (byzantine_nodes
+  /// bounds and the crash/byzantine victim-set overlap); 0 skips them (for
+  /// callers that validate before the topology is known).
+  std::vector<std::string> validate(std::size_t nodes = 0) const;
 };
 
 struct MetricPoint {
@@ -268,6 +288,24 @@ struct EventEngineStats {
   double mean_contribution_age() const noexcept;
 };
 
+/// Attack/defense accounting of one run. `extended` is true when the run
+/// configured byzantine nodes or a non-none robust rule; only then does
+/// sim::write_result_json emit the "byzantine" block, so benign runs keep
+/// their JSON byte-identical to the pre-adversarial engine.
+struct ByzantineStats {
+  bool extended = false;
+  algo::ByzantineMode mode = algo::ByzantineMode::kSignFlip;
+  core::RobustAggKind robust_agg = core::RobustAggKind::kNone;
+  /// The seeded victim set (ascending ranks; empty without an attack).
+  std::vector<std::uint32_t> attackers;
+  /// Messages put on the wire with corrupted values, summed over attackers.
+  std::uint64_t corrupted_messages = 0;
+  /// Coordinate entries discarded by trimmed_mean, summed over all nodes.
+  std::uint64_t trimmed_entries = 0;
+  /// Contributions shrunk by norm_clip, summed over all nodes.
+  std::uint64_t clipped_contributions = 0;
+};
+
 struct ExperimentResult {
   std::vector<MetricPoint> series;
   std::size_t rounds_run = 0;
@@ -280,6 +318,8 @@ struct ExperimentResult {
   SimTimeBreakdown sim_time;
   EventEngineStats event_engine;  ///< async engine only (enabled == false
                                   ///< under the synchronous engine)
+  ByzantineStats byzantine;  ///< attack/defense accounting (extended ==
+                             ///< false on benign, defense-free runs)
   PhaseTimings wall;        ///< host wall-clock per phase (not simulated)
 };
 

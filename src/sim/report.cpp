@@ -171,6 +171,26 @@ void write_result_json(std::ostream& os, const std::string& label,
        << ", \"mean\": " << json_number(ee.local_steps_mean()) << "}\n";
     os << "  },\n";
   }
+  // Byzantine block: present only when the run configured an attack or a
+  // non-none robust rule, so benign runs keep the legacy report shape
+  // (docs/SIMULATION.md "Adversarial behavior").
+  if (result.byzantine.extended) {
+    const ByzantineStats& bz = result.byzantine;
+    os << "  \"byzantine\": {\n";
+    os << "    \"mode\": \"" << algo::byzantine_mode_name(bz.mode) << "\",\n";
+    os << "    \"robust_agg\": \"" << core::robust_agg_name(bz.robust_agg)
+       << "\",\n";
+    os << "    \"attackers\": [";
+    for (std::size_t i = 0; i < bz.attackers.size(); ++i) {
+      os << (i == 0 ? "" : ", ") << bz.attackers[i];
+    }
+    os << "],\n";
+    os << "    \"corrupted_messages\": " << bz.corrupted_messages << ",\n";
+    os << "    \"trimmed_entries\": " << bz.trimmed_entries << ",\n";
+    os << "    \"clipped_contributions\": " << bz.clipped_contributions
+       << "\n";
+    os << "  },\n";
+  }
   if (include_wall) {
     const PhaseTimings& w = result.wall;
     os << "  \"wall_seconds\": {\n";

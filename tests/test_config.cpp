@@ -118,6 +118,34 @@ TEST(ScenarioParse, AsyncModeAndDecayKeys) {
   expect_error_contains("staleness_decay = 1.5\n", "staleness_decay");
 }
 
+TEST(ScenarioParse, ByzantineAndRobustAggKeys) {
+  const auto runs = expand(
+      "byzantine_nodes = 2\nbyzantine_mode = scale:-3.5\n"
+      "robust_agg = trimmed_mean:0.25\n");
+  ASSERT_EQ(runs.size(), 1u);
+  const sim::ExperimentConfig& cfg = runs.front().config;
+  EXPECT_EQ(cfg.byzantine_nodes, 2u);
+  EXPECT_EQ(cfg.byzantine_mode, algo::ByzantineMode::kScale);
+  EXPECT_DOUBLE_EQ(cfg.byzantine_scale, -3.5);
+  EXPECT_EQ(cfg.robust_agg.kind, core::RobustAggKind::kTrimmedMean);
+  EXPECT_DOUBLE_EQ(cfg.robust_agg.trim_fraction, 0.25);
+  EXPECT_EQ(expand("byzantine_mode = random\n").front().config.byzantine_mode,
+            algo::ByzantineMode::kRandom);
+  EXPECT_EQ(
+      expand("byzantine_mode = sign_flip\n").front().config.byzantine_mode,
+      algo::ByzantineMode::kSignFlip);
+  EXPECT_EQ(expand("robust_agg = median\n").front().config.robust_agg.kind,
+            core::RobustAggKind::kMedian);
+  const core::RobustAggConfig clip =
+      expand("robust_agg = norm_clip:2.5\n").front().config.robust_agg;
+  EXPECT_EQ(clip.kind, core::RobustAggKind::kNormClip);
+  EXPECT_DOUBLE_EQ(clip.clip_norm, 2.5);
+  const sim::ExperimentConfig defaults = expand("").front().config;
+  EXPECT_EQ(defaults.byzantine_nodes, 0u);
+  EXPECT_EQ(defaults.byzantine_mode, algo::ByzantineMode::kSignFlip);
+  EXPECT_EQ(defaults.robust_agg.kind, core::RobustAggKind::kNone);
+}
+
 TEST(ScenarioParse, NameKeyAndFileStemNaming) {
   RawScenario raw = parse_scenario_text("name = my_exp\nrounds = 3\n", "stem");
   EXPECT_EQ(raw.name, "my_exp");
@@ -192,6 +220,46 @@ TEST(ScenarioDiagnostics, CutoffSpecGrammar) {
   expect_error_contains("jwins_cutoff = two-point:0.5\n", "two fields");
   expect_error_contains("jwins_cutoff = fixed:1.5\n", "(0, 1]");
   expect_error_contains("jwins_cutoff = fixed:0\n", "(0, 1]");
+}
+
+TEST(ScenarioDiagnostics, ByzantineAndRobustAggGrammar) {
+  expect_error_contains("byzantine_nodes = -1\n",
+                        "byzantine_nodes: \"-1\" is not an unsigned");
+  expect_error_contains("byzantine_mode = gaussian\n",
+                        "byzantine_mode: unknown attack mode");
+  expect_error_contains("byzantine_mode = scale:\n",
+                        "byzantine_mode: scale:<k> multiplier must be a "
+                        "finite number");
+  expect_error_contains("byzantine_mode = scale:big\n",
+                        "byzantine_mode: scale:<k> multiplier");
+  expect_error_contains("byzantine_mode = scale:inf\n",
+                        "byzantine_mode: scale:<k> multiplier");
+  expect_error_contains("robust_agg = krum\n",
+                        "robust_agg: unknown robust rule");
+  expect_error_contains("robust_agg = trimmed_mean:0.5\n", "[0, 0.5)");
+  expect_error_contains("robust_agg = trimmed_mean:-0.1\n", "[0, 0.5)");
+  expect_error_contains("robust_agg = trimmed_mean:lots\n", "[0, 0.5)");
+  expect_error_contains("robust_agg = norm_clip:0\n",
+                        "robust_agg: norm_clip:<c> clip norm must be > 0");
+  expect_error_contains("robust_agg = norm_clip:-1\n",
+                        "norm_clip:<c> clip norm must be > 0");
+}
+
+TEST(ScenarioDiagnostics, ByzantineCrossFieldRules) {
+  expect_error_contains("nodes = 8\nbyzantine_nodes = 8\n",
+                        "byzantine_nodes: must leave at least one honest");
+  expect_error_contains("nodes = 8\nbyzantine_nodes = 12\n",
+                        "byzantine_nodes: must leave at least one honest");
+  expect_error_contains(
+      "algorithm = power-gossip\nrobust_agg = median\n",
+      "robust_agg: trimmed_mean/median are undefined for power-gossip");
+  expect_error_contains(
+      "algorithm = power-gossip\nrobust_agg = trimmed_mean:0.2\n",
+      "use none or norm_clip");
+  // norm_clip and none stay valid on power-gossip.
+  EXPECT_EQ(
+      expand_error("algorithm = power-gossip\nrobust_agg = norm_clip:1\n"),
+      "");
 }
 
 TEST(ScenarioDiagnostics, SyntaxErrors) {

@@ -136,6 +136,115 @@ INSTANTIATE_TEST_SUITE_P(
       return info.param.name;
     });
 
+// --- byzantine runs -------------------------------------------------------
+//
+// The determinism contract must survive the adversarial layer: corruption
+// draws come from the same counter-based per-(seed, node, round) streams,
+// and the robust aggregators are pure order statistics, so byzantine runs
+// replay bit-identically across thread counts and on both engines.
+
+struct ByzantineCase {
+  const char* name;
+  sim::Algorithm algorithm;
+  algo::ByzantineMode mode;
+  double scale;
+  core::RobustAggKind defense;
+};
+
+sim::ExperimentResult run_byzantine(const ByzantineCase& s, unsigned threads,
+                                    sim::EngineKind engine) {
+  const std::size_t n = 8;
+  const sim::Workload w = sim::make_femnist_like(n, 23);
+  sim::ExperimentConfig cfg;
+  cfg.algorithm = s.algorithm;
+  cfg.rounds = 6;
+  cfg.local_steps = 2;
+  cfg.sgd.learning_rate = 0.05f;
+  cfg.eval_every = 2;
+  cfg.eval_sample_limit = 64;
+  cfg.threads = threads;
+  cfg.seed = 23;
+  cfg.engine = engine;
+  cfg.byzantine_nodes = 2;
+  cfg.byzantine_mode = s.mode;
+  cfg.byzantine_scale = s.scale;
+  cfg.robust_agg.kind = s.defense;
+  cfg.robust_agg.trim_fraction = 0.25;
+  cfg.robust_agg.clip_norm = 0.5;
+  std::mt19937 topo_rng(23);
+  sim::Experiment exp(cfg, w.model_factory, *w.train, w.partition, *w.test,
+                      std::make_unique<graph::StaticTopology>(
+                          graph::random_regular(n, 4, topo_rng)));
+  return exp.run();
+}
+
+class ByzantineDeterminism
+    : public ::testing::TestWithParam<ByzantineCase> {};
+
+TEST_P(ByzantineDeterminism, ThreadedAndReplayMatchBitForBit) {
+  const ByzantineCase& s = GetParam();
+  const auto sequential = run_byzantine(s, 1, sim::EngineKind::kSync);
+  const auto threaded = run_byzantine(s, 4, sim::EngineKind::kSync);
+  const auto replay = run_byzantine(s, 4, sim::EngineKind::kSync);
+  expect_bit_identical(sequential, threaded, "threads=1 vs threads=4");
+  expect_bit_identical(threaded, replay, "threads=4 replay");
+  EXPECT_EQ(sequential.byzantine.corrupted_messages,
+            threaded.byzantine.corrupted_messages);
+  EXPECT_EQ(sequential.byzantine.trimmed_entries,
+            threaded.byzantine.trimmed_entries);
+  EXPECT_EQ(sequential.byzantine.clipped_contributions,
+            threaded.byzantine.clipped_contributions);
+  std::ostringstream a, b;
+  sim::write_result_json(a, "determinism/byzantine", sequential,
+                         /*include_wall=*/false);
+  sim::write_result_json(b, "determinism/byzantine", threaded,
+                         /*include_wall=*/false);
+  EXPECT_EQ(a.str(), b.str());
+}
+
+TEST_P(ByzantineDeterminism, EventEngineReplaysBitIdentically) {
+  // Corruption happens inside share(), so the event engine sees exactly the
+  // same wire bytes: barrier-mode async must reduce to the sync reference
+  // under attack too, and replay bit-identically across thread counts.
+  const ByzantineCase& s = GetParam();
+  const auto sync = run_byzantine(s, 1, sim::EngineKind::kSync);
+  const auto async_seq = run_byzantine(s, 1, sim::EngineKind::kAsync);
+  const auto async_threaded = run_byzantine(s, 4, sim::EngineKind::kAsync);
+  expect_bit_identical(sync, async_seq, "sync vs async barrier");
+  expect_bit_identical(async_seq, async_threaded,
+                       "async threads=1 vs threads=4");
+  std::ostringstream a, b;
+  sim::write_result_json(a, "determinism/byzantine", async_seq,
+                         /*include_wall=*/false);
+  sim::write_result_json(b, "determinism/byzantine", async_threaded,
+                         /*include_wall=*/false);
+  EXPECT_EQ(a.str(), b.str());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AttackAndDefenseMix, ByzantineDeterminism,
+    ::testing::Values(
+        ByzantineCase{"jwins_sign_flip_undefended", sim::Algorithm::kJwins,
+                      algo::ByzantineMode::kSignFlip, 1.0,
+                      core::RobustAggKind::kNone},
+        ByzantineCase{"jwins_sign_flip_trimmed", sim::Algorithm::kJwins,
+                      algo::ByzantineMode::kSignFlip, 1.0,
+                      core::RobustAggKind::kTrimmedMean},
+        ByzantineCase{"full_sharing_random_median",
+                      sim::Algorithm::kFullSharing,
+                      algo::ByzantineMode::kRandom, 1.0,
+                      core::RobustAggKind::kMedian},
+        ByzantineCase{"choco_scale_norm_clip", sim::Algorithm::kChoco,
+                      algo::ByzantineMode::kScale, -10.0,
+                      core::RobustAggKind::kNormClip},
+        ByzantineCase{"power_gossip_sign_flip_norm_clip",
+                      sim::Algorithm::kPowerGossip,
+                      algo::ByzantineMode::kSignFlip, 1.0,
+                      core::RobustAggKind::kNormClip}),
+    [](const ::testing::TestParamInfo<ByzantineCase>& info) {
+      return info.param.name;
+    });
+
 TEST(DeterminismAcrossSeeds, SeedChangesTheTrajectory) {
   // The per-node streams must actually depend on the experiment seed (the
   // old seed-offset engines ignored it for the cut-off draws, and

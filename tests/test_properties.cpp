@@ -302,6 +302,42 @@ FuzzRun run_async_fuzz(unsigned seed) {
       cfg.staleness_decay = 0.25 + 0.25 * static_cast<double>(rng() % 3);
       break;
   }
+  // Adversarial cocktail, drawn after EVERYTHING else so benign seeds keep
+  // the exact configurations they had before the byzantine layer existed.
+  // Attacks are only drawn for crash-free seeds: the seeded crash and
+  // victim sets can collide, and validate() (correctly) rejects a node
+  // that is both crashed and byzantine.
+  if (cfg.time.crash_nodes == 0 && rng() % 3 == 0) {
+    cfg.byzantine_nodes = 1 + rng() % 2;  // n >= 3 keeps an honest majority
+    switch (rng() % 3) {
+      case 0:
+        cfg.byzantine_mode = algo::ByzantineMode::kRandom;
+        break;
+      case 1:
+        cfg.byzantine_mode = algo::ByzantineMode::kSignFlip;
+        break;
+      default:
+        cfg.byzantine_mode = algo::ByzantineMode::kScale;
+        cfg.byzantine_scale = -5.0 + static_cast<double>(rng() % 11);
+        break;
+    }
+  }
+  if (rng() % 3 == 0) {  // defense, with or without an attack to defend from
+    switch (rng() % 3) {
+      case 0:
+        cfg.robust_agg.kind = core::RobustAggKind::kTrimmedMean;
+        cfg.robust_agg.trim_fraction =
+            0.1 + 0.1 * static_cast<double>(rng() % 4);
+        break;
+      case 1:
+        cfg.robust_agg.kind = core::RobustAggKind::kMedian;
+        break;
+      default:
+        cfg.robust_agg.kind = core::RobustAggKind::kNormClip;
+        cfg.robust_agg.clip_norm = 0.5 + 0.5 * static_cast<double>(rng() % 4);
+        break;
+    }
+  }
 
   data::Partition partition(n, {0, 1, 2, 3});
   auto counter = std::make_shared<std::size_t>(0);
@@ -388,6 +424,18 @@ TEST_P(AsyncEngineFuzz, TerminatesConservesAndReplaysBitIdentically) {
   if (a.cfg.stop_at_sim_time == 0.0) {
     EXPECT_EQ(r.rounds_run, a.cfg.rounds);
     EXPECT_EQ(ee.messages_in_flight, 0u);
+  }
+
+  // Adversarial accounting: the gated byzantine block appears exactly when
+  // an attack or defense was drawn, and the attacker ledger matches.
+  EXPECT_EQ(r.byzantine.extended,
+            a.cfg.byzantine_nodes > 0 ||
+                a.cfg.robust_agg.kind != core::RobustAggKind::kNone);
+  if (a.cfg.byzantine_nodes > 0) {
+    EXPECT_EQ(r.byzantine.attackers.size(), a.cfg.byzantine_nodes);
+  } else if (r.byzantine.extended) {
+    EXPECT_TRUE(r.byzantine.attackers.empty());
+    EXPECT_EQ(r.byzantine.corrupted_messages, 0u);
   }
 
   // Replay: the same seed must reproduce the result JSON byte for byte.
