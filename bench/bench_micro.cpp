@@ -44,6 +44,7 @@
 #include "compress/quantize.hpp"
 #include "compress/topk.hpp"
 #include "core/averaging.hpp"
+#include "core/kernel_dispatch.hpp"
 #include "core/scratch.hpp"
 #include "core/sparse_payload.hpp"
 #include "dwt/dwt.hpp"
@@ -158,6 +159,15 @@ std::vector<Kernel> build_kernels() {
   auto add = [&](std::string name, std::string group, std::function<void()> fn) {
     kernels.push_back({std::move(name), std::move(group), std::move(fn)});
   };
+  // Kernels with a scalar/fast dispatch pair (core::KernelDispatch) carry the
+  // active tier as a trailing suffix, so a JWINS_FORCE_SCALAR=1 run and a
+  // native run of the same binary are distinguishable in the JSON. Consumers
+  // comparing across runs strip the suffix (see tests/test_bench_schema.cpp).
+  auto add_tiered = [&](std::string name, std::string group,
+                        std::function<void()> fn) {
+    add(name + "/" + core::KernelDispatch::tier_name(), std::move(group),
+        std::move(fn));
+  };
 
   // --- DWT ----------------------------------------------------------------
   {
@@ -165,23 +175,23 @@ std::vector<Kernel> build_kernels() {
     auto plan = std::make_shared<dwt::DwtPlan>(dwt::sym2(), n, 4);
     auto x = std::make_shared<std::vector<float>>(random_floats(n, 1));
     auto coeffs = std::make_shared<std::vector<float>>(plan->coeff_length());
-    add("dwt_forward/16384/fresh", "fig5", [=] {
+    add_tiered("dwt_forward/16384/fresh", "fig5", [=] {
       const std::vector<float> out = plan->forward(*x);
       consume(out.data());
     });
     auto ws = std::make_shared<dwt::DwtWorkspace>();
-    add("dwt_forward/16384/scratch", "fig5", [=] {
+    add_tiered("dwt_forward/16384/scratch", "fig5", [=] {
       plan->forward_into(*x, *coeffs, *ws);
       consume(coeffs->data());
     });
     auto fwd = std::make_shared<std::vector<float>>(plan->forward(*x));
     auto out = std::make_shared<std::vector<float>>(n);
-    add("dwt_inverse/16384/fresh", "fig5", [=] {
+    add_tiered("dwt_inverse/16384/fresh", "fig5", [=] {
       const std::vector<float> back = plan->inverse(*fwd);
       consume(back.data());
     });
     auto ws2 = std::make_shared<dwt::DwtWorkspace>();
-    add("dwt_inverse/16384/scratch", "fig5", [=] {
+    add_tiered("dwt_inverse/16384/scratch", "fig5", [=] {
       plan->inverse_into(*fwd, *out, *ws2);
       consume(out->data());
     });
@@ -191,12 +201,12 @@ std::vector<Kernel> build_kernels() {
   {
     const std::size_t n = 1 << 16;
     auto x = std::make_shared<std::vector<float>>(random_floats(n, 4));
-    add("topk/65536/fresh", "fig5", [=] {
+    add_tiered("topk/65536/fresh", "fig5", [=] {
       const auto idx = compress::topk_indices(*x, n / 10);
       consume(idx.data());
     });
     auto idx = std::make_shared<std::vector<std::uint32_t>>();
-    add("topk/65536/scratch", "fig5", [=] {
+    add_tiered("topk/65536/scratch", "fig5", [=] {
       compress::topk_indices_into(*x, n / 10, *idx);
       consume(idx->data());
     });
@@ -235,24 +245,24 @@ std::vector<Kernel> build_kernels() {
   {
     const std::size_t n = 1 << 14;
     auto x = std::make_shared<std::vector<float>>(random_floats(n, 7));
-    add("xor_compress/16384/fresh", "fig5", [=] {
+    add_tiered("xor_compress/16384/fresh", "fig5", [=] {
       const auto bytes = compress::compress_floats(*x);
       consume(bytes.data());
     });
     auto bits = std::make_shared<compress::BitWriter>();
-    add("xor_compress/16384/scratch", "fig5", [=] {
+    add_tiered("xor_compress/16384/scratch", "fig5", [=] {
       bits->clear();
       compress::compress_floats(*x, *bits);
       consume(bits->bytes().data());
     });
     auto encoded = std::make_shared<std::vector<std::uint8_t>>(
         compress::compress_floats(*x));
-    add("xor_decompress/16384/fresh", "fig5", [=] {
+    add_tiered("xor_decompress/16384/fresh", "fig5", [=] {
       const auto back = compress::decompress_floats(*encoded, n);
       consume(back.data());
     });
     auto decoded = std::make_shared<std::vector<float>>();
-    add("xor_decompress/16384/scratch", "fig5", [=] {
+    add_tiered("xor_decompress/16384/scratch", "fig5", [=] {
       compress::decompress_floats_into(*encoded, n, *decoded);
       consume(decoded->data());
     });
@@ -366,12 +376,12 @@ std::vector<Kernel> build_kernels() {
     const std::size_t n = 1 << 14;
     auto x = std::make_shared<std::vector<float>>(random_floats(n, 13));
     auto rng = std::make_shared<std::mt19937_64>(17);
-    add("qsgd_quantize/16384/fresh", "choco", [=] {
+    add_tiered("qsgd_quantize/16384/fresh", "choco", [=] {
       const auto q = compress::qsgd_quantize(*x, 15, *rng);
       consume(q.packed.data());
     });
     auto q = std::make_shared<compress::QuantizedVector>();
-    add("qsgd_quantize/16384/scratch", "choco", [=] {
+    add_tiered("qsgd_quantize/16384/scratch", "choco", [=] {
       compress::qsgd_quantize_into(*x, 15, *rng, *q);
       consume(q->packed.data());
     });
@@ -487,6 +497,17 @@ KernelResult measure(const Kernel& kernel, double min_time_ms) {
   return r;
 }
 
+// Kernel name with any trailing dispatch-tier suffix removed, so aggregates
+// and cross-run comparisons see "topk/65536/scratch" whichever tier ran.
+std::string strip_tier(const std::string& name) {
+  for (const char* suffix : {"/fast", "/scalar"}) {
+    if (name.ends_with(suffix)) {
+      return name.substr(0, name.size() - std::strlen(suffix));
+    }
+  }
+  return name;
+}
+
 void write_json(std::ostream& os, const std::vector<KernelResult>& results,
                 const std::string& filter) {
   // Hand-rolled like sim/report.cpp: stable key order, no dependencies.
@@ -494,10 +515,11 @@ void write_json(std::ostream& os, const std::vector<KernelResult>& results,
   double fig5_fresh_bytes = 0.0, fig5_scratch_bytes = 0.0;
   for (const KernelResult& r : results) {
     if (r.group != "fig5") continue;
-    if (r.name.ends_with("/fresh")) {
+    const std::string base = strip_tier(r.name);
+    if (base.ends_with("/fresh")) {
       fig5_fresh += r.allocs_per_op;
       fig5_fresh_bytes += r.alloc_bytes_per_op;
-    } else if (r.name.ends_with("/scratch")) {
+    } else if (base.ends_with("/scratch")) {
       fig5_scratch += r.allocs_per_op;
       fig5_scratch_bytes += r.alloc_bytes_per_op;
     }
@@ -512,6 +534,13 @@ void write_json(std::ostream& os, const std::vector<KernelResult>& results,
   os << "{\n";
   os << "  \"schema\": \"jwins.bench_micro/1\",\n";
   os << "  \"filter\": \"" << filter << "\",\n";
+  // Kernel-dispatch provenance lives here, in the bench document — never in
+  // experiment result JSON, which must stay byte-identical across tiers.
+  os << "  \"host\": {\"kernel_dispatch\": \""
+     << core::KernelDispatch::tier_name() << "\", \"compiled_march\": \""
+     << core::KernelDispatch::compiled_march() << "\", \"forced_scalar\": "
+     << (core::KernelDispatch::env_forced_scalar() ? "true" : "false")
+     << "},\n";
   os << "  \"units\": {\"time\": \"ns/op\", \"allocs\": \"count/op\", "
         "\"alloc_bytes\": \"bytes/op\"},\n";
   os << "  \"kernels\": [\n";

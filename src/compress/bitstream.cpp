@@ -4,9 +4,29 @@ namespace jwins::compress {
 
 void BitWriter::write_bits(std::uint64_t bits, unsigned count) {
   if (count > 64) throw std::invalid_argument("write_bits: count > 64");
-  for (unsigned i = count; i-- > 0;) {
-    write_bit((bits >> i) & 1u);
+  if (count == 0) return;
+  if (count < 64) bits &= (std::uint64_t{1} << count) - 1;
+  // Byte-chunked MSB-first packing: identical layout to the bit-at-a-time
+  // loop, ~8x fewer buffer touches.
+  const std::size_t total = bit_count_ + count;
+  bytes_.resize((total + 7) / 8, 0);
+  std::size_t byte_index = bit_count_ / 8;
+  unsigned used = static_cast<unsigned>(bit_count_ % 8);
+  unsigned remaining = count;
+  while (remaining > 0) {
+    const unsigned room = 8 - used;
+    const unsigned take = remaining < room ? remaining : room;
+    const auto chunk = static_cast<std::uint8_t>((bits >> (remaining - take)) &
+                                                 ((1u << take) - 1u));
+    bytes_[byte_index] |= static_cast<std::uint8_t>(chunk << (room - take));
+    remaining -= take;
+    used += take;
+    if (used == 8) {
+      used = 0;
+      ++byte_index;
+    }
   }
+  bit_count_ = total;
 }
 
 void BitWriter::write_bit(bool bit) {
@@ -22,8 +42,20 @@ std::vector<std::uint8_t> BitWriter::finish() && { return std::move(bytes_); }
 std::uint64_t BitReader::read_bits(unsigned count) {
   if (count > 64) throw std::invalid_argument("read_bits: count > 64");
   std::uint64_t value = 0;
-  for (unsigned i = 0; i < count; ++i) {
-    value = (value << 1) | static_cast<std::uint64_t>(read_bit());
+  unsigned remaining = count;
+  while (remaining > 0) {
+    if (pos_ >= capacity()) {
+      throw std::out_of_range("BitReader: read past end of stream");
+    }
+    const std::size_t byte_index = pos_ / 8;
+    const unsigned off = static_cast<unsigned>(pos_ % 8);
+    const unsigned avail = 8 - off;
+    const unsigned take = remaining < avail ? remaining : avail;
+    const auto chunk = static_cast<std::uint8_t>(
+        (bytes_[byte_index] >> (avail - take)) & ((1u << take) - 1u));
+    value = (value << take) | chunk;
+    pos_ += take;
+    remaining -= take;
   }
   return value;
 }

@@ -1,10 +1,12 @@
 #include "compress/float_codec.hpp"
 
+#include <algorithm>
 #include <bit>
 #include <cstring>
 #include <stdexcept>
 
 #include "compress/bitstream.hpp"
+#include "core/kernel_dispatch.hpp"
 
 namespace jwins::compress {
 
@@ -63,16 +65,148 @@ std::size_t encode_stream(std::span<const float> values, BitWriter* writer) {
   return bits;
 }
 
+// Fast encoder: the XOR / leading-zero / trailing-zero scan runs as a fused
+// block pass, and the per-value control+payload bits are emitted with one
+// combined write_bits call per value. Decisions and bit layout are exactly
+// the reference's, so the output bytes are identical.
+void encode_stream_fast(std::span<const float> values, BitWriter& writer) {
+  if (values.empty()) return;
+  writer.write_bits(float_bits(values[0]), 32);
+  unsigned block_lead = 0xFF;
+  unsigned block_len = 0;
+  constexpr std::size_t kBlock = 256;
+  std::uint32_t xors[kBlock];
+  std::uint8_t leads[kBlock];
+  std::uint8_t trails[kBlock];
+  std::size_t i = 1;
+  while (i < values.size()) {
+    const std::size_t len = std::min(kBlock, values.size() - i);
+    // Fused pass: XOR with predecessor plus both zero counts, branch-free.
+    for (std::size_t j = 0; j < len; ++j) {
+      const std::uint32_t x =
+          float_bits(values[i + j]) ^ float_bits(values[i + j - 1]);
+      xors[j] = x;
+      leads[j] = static_cast<std::uint8_t>(std::min(31, std::countl_zero(x)));
+      trails[j] = static_cast<std::uint8_t>(std::countr_zero(x));
+    }
+    for (std::size_t j = 0; j < len; ++j) {
+      const std::uint32_t x = xors[j];
+      if (x == 0) {
+        writer.write_bit(false);
+        continue;
+      }
+      const unsigned lead = leads[j];
+      const unsigned trail = trails[j];
+      const unsigned vlen = 32 - lead - trail;
+      const bool fits_block =
+          block_lead != 0xFF && lead >= block_lead &&
+          (32 - lead - vlen) >= (32 - block_lead - block_len);
+      if (fits_block) {
+        // Control bits '1','0' then block_len payload bits, as one write.
+        const std::uint64_t payload = x >> (32 - block_lead - block_len);
+        writer.write_bits((std::uint64_t{0b10} << block_len) | payload,
+                          2 + block_len);
+      } else {
+        // Control '1','1', lead(5), vlen-1(5), then vlen payload bits.
+        const std::uint64_t header =
+            (std::uint64_t{0b11} << 10) | (std::uint64_t{lead} << 5) |
+            (vlen - 1);
+        writer.write_bits((header << vlen) | (x >> trail), 12 + vlen);
+        block_lead = lead;
+        block_len = vlen;
+      }
+    }
+    i += len;
+  }
+}
+
+// Cursor over the compressed bytes with the same MSB-first semantics and
+// end-of-stream behaviour as BitReader, minus the per-call state overhead.
+struct FastBitCursor {
+  const std::uint8_t* data;
+  std::size_t nbits;
+  std::size_t pos = 0;
+
+  std::uint64_t read(unsigned count) {
+    std::uint64_t value = 0;
+    unsigned remaining = count;
+    while (remaining > 0) {
+      if (pos >= nbits) {
+        throw std::out_of_range("BitReader: read past end of stream");
+      }
+      const std::size_t byte_index = pos / 8;
+      const unsigned off = static_cast<unsigned>(pos % 8);
+      const unsigned avail = 8 - off;
+      const unsigned take = remaining < avail ? remaining : avail;
+      const auto chunk = static_cast<std::uint8_t>(
+          (data[byte_index] >> (avail - take)) & ((1u << take) - 1u));
+      value = (value << take) | chunk;
+      pos += take;
+      remaining -= take;
+    }
+    return value;
+  }
+
+  bool read_bit() {
+    if (pos >= nbits) {
+      throw std::out_of_range("BitReader: read past end of stream");
+    }
+    const bool b = (data[pos / 8] >> (7 - pos % 8)) & 1u;
+    ++pos;
+    return b;
+  }
+};
+
+void decode_stream_fast(std::span<const std::uint8_t> bytes, std::size_t count,
+                        std::vector<float>& out) {
+  FastBitCursor cur{bytes.data(), bytes.size() * 8};
+  std::uint32_t prev = static_cast<std::uint32_t>(cur.read(32));
+  out.push_back(bits_float(prev));
+  unsigned block_lead = 0;
+  unsigned block_len = 0;
+  bool have_block = false;
+  for (std::size_t i = 1; i < count; ++i) {
+    if (!cur.read_bit()) {  // identical to previous
+      out.push_back(bits_float(prev));
+      continue;
+    }
+    if (cur.read_bit()) {  // new block header: lead(5) ++ len-1(5)
+      const auto header = static_cast<std::uint32_t>(cur.read(10));
+      block_lead = header >> 5;
+      block_len = (header & 0x1Fu) + 1;
+      have_block = true;
+    } else if (!have_block) {
+      throw std::runtime_error("float codec: reuse of block before definition");
+    }
+    const auto meaningful = static_cast<std::uint32_t>(cur.read(block_len));
+    const unsigned shift = 32 - block_lead - block_len;
+    prev ^= meaningful << shift;
+    out.push_back(bits_float(prev));
+  }
+}
+
 }  // namespace
 
 std::vector<std::uint8_t> compress_floats(std::span<const float> values) {
   BitWriter writer;
-  encode_stream(values, &writer);
+  compress_floats(values, writer);
   return std::move(writer).finish();
 }
 
 void compress_floats(std::span<const float> values, BitWriter& writer) {
+  if (core::KernelDispatch::fast()) {
+    encode_stream_fast(values, writer);
+  } else {
+    encode_stream(values, &writer);
+  }
+}
+
+void compress_floats_scalar(std::span<const float> values, BitWriter& writer) {
   encode_stream(values, &writer);
+}
+
+void compress_floats_fast(std::span<const float> values, BitWriter& writer) {
+  encode_stream_fast(values, writer);
 }
 
 std::size_t compressed_floats_size(std::span<const float> values) {
@@ -88,6 +222,23 @@ std::vector<float> decompress_floats(std::span<const std::uint8_t> bytes,
 
 void decompress_floats_into(std::span<const std::uint8_t> bytes,
                             std::size_t count, std::vector<float>& out) {
+  if (core::KernelDispatch::fast()) {
+    decompress_floats_into_fast(bytes, count, out);
+  } else {
+    decompress_floats_into_scalar(bytes, count, out);
+  }
+}
+
+void decompress_floats_into_fast(std::span<const std::uint8_t> bytes,
+                                 std::size_t count, std::vector<float>& out) {
+  out.clear();
+  if (count == 0) return;
+  out.reserve(count);
+  decode_stream_fast(bytes, count, out);
+}
+
+void decompress_floats_into_scalar(std::span<const std::uint8_t> bytes,
+                                   std::size_t count, std::vector<float>& out) {
   out.clear();
   if (count == 0) return;
   out.reserve(count);

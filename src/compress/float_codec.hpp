@@ -24,15 +24,34 @@ std::vector<std::uint8_t> compress_floats(std::span<const float> values);
 
 /// Scratch variant: appends the code to `writer` (not cleared), so a reused
 /// BitWriter makes the compression allocation-free in steady state.
+/// Dispatches between the scalar reference and the block encoder per
+/// core::KernelDispatch; both tiers emit identical bytes.
 void compress_floats(std::span<const float> values, BitWriter& writer);
+
+/// Pinned golden reference encoder (per-value branchy loop).
+void compress_floats_scalar(std::span<const float> values, BitWriter& writer);
+
+/// Fast path: fused XOR/clz/ctz block pass with combined control+payload
+/// emission. Byte-identical to the reference.
+void compress_floats_fast(std::span<const float> values, BitWriter& writer);
 
 /// Exact inverse of compress_floats. `count` is the number of floats encoded.
 std::vector<float> decompress_floats(std::span<const std::uint8_t> bytes,
                                      std::size_t count);
 
 /// Scratch variant: decodes into `out` (cleared first, capacity kept).
+/// Dispatches per core::KernelDispatch.
 void decompress_floats_into(std::span<const std::uint8_t> bytes,
                             std::size_t count, std::vector<float>& out);
+
+/// Pinned golden reference decoder (BitReader per-bit loop).
+void decompress_floats_into_scalar(std::span<const std::uint8_t> bytes,
+                                   std::size_t count, std::vector<float>& out);
+
+/// Fast path: local bit cursor with chunked reads. Identical floats and
+/// identical failure behaviour on malformed streams.
+void decompress_floats_into_fast(std::span<const std::uint8_t> bytes,
+                                 std::size_t count, std::vector<float>& out);
 
 /// Compressed size in bytes without materializing the buffer.
 std::size_t compressed_floats_size(std::span<const float> values);

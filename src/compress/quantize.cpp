@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "compress/bitstream.hpp"
+#include "core/kernel_dispatch.hpp"
 #include "net/serializer.hpp"
 
 namespace jwins::compress {
@@ -16,18 +17,24 @@ unsigned bits_per_level(std::uint32_t levels) noexcept {
   return static_cast<unsigned>(std::bit_width(levels));
 }
 
-}  // namespace
-
-template <class Urbg>
-void qsgd_quantize_into(std::span<const float> values, std::uint32_t levels,
-                        Urbg& rng, QuantizedVector& out) {
+// Shared norm prologue: the sequential double accumulation is part of the
+// pinned reference (vectorizing it would change the summation order).
+BitWriter quantize_prologue(std::span<const float> values,
+                            std::uint32_t levels, QuantizedVector& out) {
   if (levels == 0) throw std::invalid_argument("qsgd_quantize: levels must be >= 1");
   out.levels = levels;
   out.count = static_cast<std::uint32_t>(values.size());
   double norm_sq = 0.0;
   for (float v : values) norm_sq += static_cast<double>(v) * v;
   out.norm = static_cast<float>(std::sqrt(norm_sq));
-  BitWriter writer(std::move(out.packed));  // reuse the packed capacity
+  return BitWriter(std::move(out.packed));  // reuse the packed capacity
+}
+
+template <class Urbg>
+void qsgd_quantize_into_scalar_impl(std::span<const float> values,
+                                    std::uint32_t levels, Urbg& rng,
+                                    QuantizedVector& out) {
+  BitWriter writer = quantize_prologue(values, levels, out);
   std::uniform_real_distribution<double> u01(0.0, 1.0);
   const unsigned level_bits = bits_per_level(levels);
   for (float v : values) {
@@ -45,6 +52,99 @@ void qsgd_quantize_into(std::span<const float> values, std::uint32_t levels,
   }
   out.packed = std::move(writer).finish();
 }
+
+template <class Urbg>
+void qsgd_quantize_into_fast_impl(std::span<const float> values,
+                                  std::uint32_t levels, Urbg& rng,
+                                  QuantizedVector& out) {
+  BitWriter writer = quantize_prologue(values, levels, out);
+  std::uniform_real_distribution<double> u01(0.0, 1.0);
+  const unsigned level_bits = bits_per_level(levels);
+  if (!(out.norm > 0.0f)) {
+    // Degenerate all-zero vector: no scaling and no RNG draws, matching the
+    // scalar reference exactly (sign bit then a zero level, fused into one
+    // MSB-first write).
+    for (float v : values) {
+      writer.write_bits(static_cast<std::uint64_t>(v < 0.0f) << level_bits,
+                        1 + level_bits);
+    }
+    out.packed = std::move(writer).finish();
+    return;
+  }
+  // Blocked rounding: the scale/trunc/frac arithmetic (the vectorizable
+  // part) runs over contiguous blocks; the RNG draw and bit emission stay
+  // sequential so the per-coordinate draw order is exactly the reference's.
+  constexpr std::size_t kBlock = 256;
+  std::uint32_t lower[kBlock];
+  double frac[kBlock];
+  const float norm = out.norm;
+  std::size_t i = 0;
+  while (i < values.size()) {
+    const std::size_t len = std::min(kBlock, values.size() - i);
+    const float* v = values.data() + i;
+    for (std::size_t j = 0; j < len; ++j) {
+      // Same expression shape as the reference: float |v|/norm, widened to
+      // double for the levels product.
+      const double scaled =
+          std::fabs(v[j]) / norm * static_cast<double>(levels);
+      const auto lo = static_cast<std::uint32_t>(scaled);
+      lower[j] = lo;
+      frac[j] = scaled - lo;
+    }
+    for (std::size_t j = 0; j < len; ++j) {
+      std::uint32_t level = lower[j] + (u01(rng) < frac[j] ? 1u : 0u);
+      if (level > levels) level = levels;
+      // Sign bit then level bits — one MSB-first write, identical layout.
+      writer.write_bits(
+          (static_cast<std::uint64_t>(v[j] < 0.0f) << level_bits) | level,
+          1 + level_bits);
+    }
+    i += len;
+  }
+  out.packed = std::move(writer).finish();
+}
+
+}  // namespace
+
+template <class Urbg>
+void qsgd_quantize_into(std::span<const float> values, std::uint32_t levels,
+                        Urbg& rng, QuantizedVector& out) {
+  if (core::KernelDispatch::fast()) {
+    qsgd_quantize_into_fast_impl(values, levels, rng, out);
+  } else {
+    qsgd_quantize_into_scalar_impl(values, levels, rng, out);
+  }
+}
+
+template <class Urbg>
+void qsgd_quantize_into_scalar(std::span<const float> values,
+                               std::uint32_t levels, Urbg& rng,
+                               QuantizedVector& out) {
+  qsgd_quantize_into_scalar_impl(values, levels, rng, out);
+}
+
+template <class Urbg>
+void qsgd_quantize_into_fast(std::span<const float> values,
+                             std::uint32_t levels, Urbg& rng,
+                             QuantizedVector& out) {
+  qsgd_quantize_into_fast_impl(values, levels, rng, out);
+}
+
+template void qsgd_quantize_into_scalar<std::mt19937_64>(std::span<const float>,
+                                                         std::uint32_t,
+                                                         std::mt19937_64&,
+                                                         QuantizedVector&);
+template void qsgd_quantize_into_scalar<core::CounterRng>(
+    std::span<const float>, std::uint32_t, core::CounterRng&,
+    QuantizedVector&);
+template void qsgd_quantize_into_fast<std::mt19937_64>(std::span<const float>,
+                                                       std::uint32_t,
+                                                       std::mt19937_64&,
+                                                       QuantizedVector&);
+template void qsgd_quantize_into_fast<core::CounterRng>(std::span<const float>,
+                                                        std::uint32_t,
+                                                        core::CounterRng&,
+                                                        QuantizedVector&);
 
 template <class Urbg>
 QuantizedVector qsgd_quantize(std::span<const float> values,

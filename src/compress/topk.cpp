@@ -1,11 +1,44 @@
 #include "compress/topk.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
 #include <numeric>
 #include <stdexcept>
 
+#include "core/kernel_dispatch.hpp"
+
 namespace jwins::compress {
+
+namespace {
+
+// Total order shared by the scalar reference and the fast path: magnitude
+// descending, index ascending on ties. The tie rule makes the selected set
+// unique, which is what lets the bucket-select kernel promise the *identical*
+// index set (and what the 200-seed sweep in test_kernel_equivalence.cpp
+// pins).
+struct MagnitudeGreater {
+  std::span<const float> values;
+  bool operator()(std::uint32_t a, std::uint32_t b) const {
+    const float fa = std::fabs(values[a]);
+    const float fb = std::fabs(values[b]);
+    if (fa != fb) return fa > fb;
+    return a < b;
+  }
+};
+
+// Magnitude bits of a (non-NaN) float: IEEE-754 bit patterns of non-negative
+// floats are monotone in value, so bucketing by the top 16 of the 31
+// magnitude bits preserves the magnitude order between buckets exactly.
+inline std::uint32_t magnitude_bucket(float v) noexcept {
+  return (std::bit_cast<std::uint32_t>(v) & 0x7FFFFFFFu) >> 15;
+}
+
+// Below this size the histogram pass costs more than it saves; the fast
+// entry point delegates to the scalar select (still bit-identical).
+constexpr std::size_t kBucketSelectMinN = 4096;
+
+}  // namespace
 
 std::vector<std::uint32_t> topk_indices(std::span<const float> values,
                                         std::size_t k) {
@@ -14,8 +47,8 @@ std::vector<std::uint32_t> topk_indices(std::span<const float> values,
   return order;
 }
 
-void topk_indices_into(std::span<const float> values, std::size_t k,
-                       std::vector<std::uint32_t>& out) {
+void topk_indices_into_scalar(std::span<const float> values, std::size_t k,
+                              std::vector<std::uint32_t>& out) {
   const std::size_t n = values.size();
   // `out` is the selection workspace: its capacity stays at n after the
   // first call, so reuse makes this allocation-free.
@@ -25,11 +58,77 @@ void topk_indices_into(std::span<const float> values, std::size_t k,
     return;  // already ascending
   }
   std::nth_element(out.begin(), out.begin() + static_cast<std::ptrdiff_t>(k),
-                   out.end(), [&](std::uint32_t a, std::uint32_t b) {
-                     return std::fabs(values[a]) > std::fabs(values[b]);
-                   });
+                   out.end(), MagnitudeGreater{values});
   out.resize(k);
   std::sort(out.begin(), out.end());
+}
+
+void topk_indices_into_fast(std::span<const float> values, std::size_t k,
+                            std::vector<std::uint32_t>& out) {
+  const std::size_t n = values.size();
+  if (k >= n) {
+    out.resize(n);
+    std::iota(out.begin(), out.end(), 0u);
+    return;
+  }
+  if (n < kBucketSelectMinN || k == 0) {
+    topk_indices_into_scalar(values, k, out);
+    return;
+  }
+  // Pass 1: 65536-bucket histogram over the top magnitude bits. The
+  // thread_local workspaces are fully rewritten per call, so the result does
+  // not depend on prior calls (only the heap warm-up does).
+  thread_local std::vector<std::uint32_t> hist;
+  thread_local std::vector<std::uint32_t> boundary;
+  hist.assign(std::size_t{1} << 16, 0u);
+  for (std::size_t i = 0; i < n; ++i) ++hist[magnitude_bucket(values[i])];
+  // Find the boundary bucket: the highest bucket where the cumulative count
+  // (scanning from the largest magnitudes down) first reaches k.
+  std::size_t cum = 0;
+  std::uint32_t cut = static_cast<std::uint32_t>(hist.size());
+  while (cut-- > 0) {
+    cum += hist[cut];
+    if (cum >= k) break;
+  }
+  const std::size_t above = cum - hist[cut];
+  // Pass 2: everything strictly above the boundary bucket is selected;
+  // boundary-bucket members are candidates for the remaining slots.
+  out.clear();
+  boundary.clear();
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint32_t b = magnitude_bucket(values[i]);
+    if (b > cut) {
+      out.push_back(static_cast<std::uint32_t>(i));
+    } else if (b == cut) {
+      boundary.push_back(static_cast<std::uint32_t>(i));
+    }
+  }
+  // Exact select on the boundary bucket only, under the same total order as
+  // the scalar reference.
+  const std::size_t need = k - above;
+  if (need < boundary.size()) {
+    std::nth_element(boundary.begin(),
+                     boundary.begin() + static_cast<std::ptrdiff_t>(need),
+                     boundary.end(), MagnitudeGreater{values});
+    boundary.resize(need);
+    std::sort(boundary.begin(), boundary.end());
+  }
+  // Both halves are ascending (collected in index order; the boundary
+  // remainder re-sorted above), so a merge replaces the full k-sort.
+  thread_local std::vector<std::uint32_t> merged;
+  merged.resize(k);
+  std::merge(out.begin(), out.end(), boundary.begin(), boundary.end(),
+             merged.begin());
+  out.assign(merged.begin(), merged.end());
+}
+
+void topk_indices_into(std::span<const float> values, std::size_t k,
+                       std::vector<std::uint32_t>& out) {
+  if (core::KernelDispatch::fast()) {
+    topk_indices_into_fast(values, k, out);
+  } else {
+    topk_indices_into_scalar(values, k, out);
+  }
 }
 
 namespace {

@@ -13,16 +13,30 @@
 namespace jwins::compress {
 
 /// Indices of the `k` largest-magnitude elements of `values`, sorted
-/// ascending (the order required by the gap-based metadata coder).
-/// If k >= values.size(), all indices are returned.
+/// ascending (the order required by the gap-based metadata coder). Ties in
+/// magnitude break toward the lower index, making the selected set unique.
+/// If k >= values.size(), all indices are returned. Values must be NaN-free.
 std::vector<std::uint32_t> topk_indices(std::span<const float> values,
                                         std::size_t k);
 
 /// Scratch variant: selects into `out` (overwritten), which doubles as the
 /// selection workspace — once warmed to values.size() capacity the call is
-/// allocation-free. Bit-identical to topk_indices().
+/// allocation-free. Bit-identical to topk_indices(). Dispatches between the
+/// scalar reference and the bucket-select fast path per
+/// core::KernelDispatch.
 void topk_indices_into(std::span<const float> values, std::size_t k,
                        std::vector<std::uint32_t>& out);
+
+/// Pinned golden reference: full nth_element select under the
+/// magnitude-descending / index-ascending total order.
+void topk_indices_into_scalar(std::span<const float> values, std::size_t k,
+                              std::vector<std::uint32_t>& out);
+
+/// Fast path: single-pass 65536-bucket histogram over the top magnitude
+/// bits, exact nth_element only on the boundary bucket. Returns the
+/// identical index set as the scalar reference (same total order).
+void topk_indices_into_fast(std::span<const float> values, std::size_t k,
+                            std::vector<std::uint32_t>& out);
 
 /// `k` distinct indices drawn uniformly from [0, n) using `seed` — the
 /// random-sampling baseline. Sharing the seed reproduces the exact subset on

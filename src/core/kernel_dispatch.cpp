@@ -1,0 +1,63 @@
+#include "core/kernel_dispatch.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+#ifndef JWINS_MARCH_TIER
+#define JWINS_MARCH_TIER "generic"
+#endif
+
+namespace jwins::core {
+
+namespace {
+
+// -1: no programmatic override; otherwise the forced KernelTier value.
+std::atomic<int> g_override{-1};
+
+bool resolve_env_forced_scalar() noexcept {
+  const char* v = std::getenv("JWINS_FORCE_SCALAR");
+  return v != nullptr && v[0] != '\0' && std::strcmp(v, "0") != 0;
+}
+
+}  // namespace
+
+const char* kernel_tier_name(KernelTier tier) noexcept {
+  return tier == KernelTier::kScalar ? "scalar" : "fast";
+}
+
+bool KernelDispatch::env_forced_scalar() noexcept {
+  // Resolved once per process so mid-run setenv() cannot split a
+  // deterministic run across tiers.
+  static const bool forced = resolve_env_forced_scalar();
+  return forced;
+}
+
+KernelTier KernelDispatch::tier() noexcept {
+  const int forced = g_override.load(std::memory_order_relaxed);
+  if (forced >= 0) return static_cast<KernelTier>(forced);
+  return env_forced_scalar() ? KernelTier::kScalar : KernelTier::kFast;
+}
+
+const char* KernelDispatch::compiled_march() noexcept {
+  return JWINS_MARCH_TIER;
+}
+
+void KernelDispatch::force(KernelTier tier) noexcept {
+  g_override.store(static_cast<int>(tier), std::memory_order_relaxed);
+}
+
+void KernelDispatch::clear_force() noexcept {
+  g_override.store(-1, std::memory_order_relaxed);
+}
+
+KernelDispatch::ScopedForce::ScopedForce(KernelTier tier) noexcept
+    : previous_(g_override.load(std::memory_order_relaxed)) {
+  force(tier);
+}
+
+KernelDispatch::ScopedForce::~ScopedForce() {
+  g_override.store(previous_, std::memory_order_relaxed);
+}
+
+}  // namespace jwins::core

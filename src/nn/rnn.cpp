@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <stdexcept>
+#include <utility>
 
 namespace jwins::nn {
 
@@ -76,65 +77,73 @@ Tensor Lstm::forward(const Tensor& input) {
   cached_input_ = input;
   const std::size_t batch = input.dim(0), steps = input.dim(1);
   const std::size_t H = hidden_;
-  gate_i_.assign(steps, Tensor());
-  gate_f_.assign(steps, Tensor());
-  gate_g_.assign(steps, Tensor());
-  gate_o_.assign(steps, Tensor());
-  cell_.assign(steps, Tensor());
-  tanh_cell_.assign(steps, Tensor());
-  h_prev_.assign(steps, Tensor());
-  c_prev_.assign(steps, Tensor());
-
-  Tensor h({batch, H});
-  Tensor c({batch, H});
+  if (gate_i_.size() != steps) {
+    gate_i_.resize(steps);
+    gate_f_.resize(steps);
+    gate_g_.resize(steps);
+    gate_o_.resize(steps);
+    cell_.resize(steps);
+    tanh_cell_.resize(steps);
+    h_prev_.resize(steps);
+    c_prev_.resize(steps);
+  }
+  h_.ensure_shape(batch, H);
+  h_.zero();
+  c_.ensure_shape(batch, H);
+  c_.zero();
   Tensor out({batch, steps, H});
   for (std::size_t t = 0; t < steps; ++t) {
-    h_prev_[t] = h;
-    c_prev_[t] = c;
+    h_prev_[t] = h_;
+    c_prev_[t] = c_;
     // x_t as a [B, D] matrix.
-    Tensor xt({batch, input_dim_});
+    xt_.ensure_shape(batch, input_dim_);
     for (std::size_t b = 0; b < batch; ++b) {
       for (std::size_t d = 0; d < input_dim_; ++d) {
-        xt[b * input_dim_ + d] = input[(b * steps + t) * input_dim_ + d];
+        xt_[b * input_dim_ + d] = input[(b * steps + t) * input_dim_ + d];
       }
     }
-    Tensor z = tensor::matmul_nt(xt, w_x_);  // [B, 4H]
-    z += tensor::matmul_nt(h, w_h_);
+    tensor::matmul_nt_into(z_, xt_, w_x_);  // [B, 4H]
+    tensor::matmul_nt_into(zh_, h_, w_h_);
+    z_ += zh_;
     for (std::size_t b = 0; b < batch; ++b) {
-      for (std::size_t j = 0; j < 4 * H; ++j) z[b * 4 * H + j] += bias_[j];
+      for (std::size_t j = 0; j < 4 * H; ++j) z_[b * 4 * H + j] += bias_[j];
     }
-    Tensor gi({batch, H}), gf({batch, H}), gg({batch, H}), go({batch, H});
-    Tensor ct({batch, H}), tc({batch, H}), ht({batch, H});
+    Tensor& gi = gate_i_[t];
+    Tensor& gf = gate_f_[t];
+    Tensor& gg = gate_g_[t];
+    Tensor& go = gate_o_[t];
+    Tensor& tc = tanh_cell_[t];
+    gi.ensure_shape(batch, H);
+    gf.ensure_shape(batch, H);
+    gg.ensure_shape(batch, H);
+    go.ensure_shape(batch, H);
+    tc.ensure_shape(batch, H);
     for (std::size_t b = 0; b < batch; ++b) {
       for (std::size_t j = 0; j < H; ++j) {
-        const float zi = z[b * 4 * H + j];
-        const float zf = z[b * 4 * H + H + j];
-        const float zg = z[b * 4 * H + 2 * H + j];
-        const float zo = z[b * 4 * H + 3 * H + j];
+        const float zi = z_[b * 4 * H + j];
+        const float zf = z_[b * 4 * H + H + j];
+        const float zg = z_[b * 4 * H + 2 * H + j];
+        const float zo = z_[b * 4 * H + 3 * H + j];
         const float iv = 1.0f / (1.0f + std::exp(-zi));
         const float fv = 1.0f / (1.0f + std::exp(-zf));
         const float gv = std::tanh(zg);
         const float ov = 1.0f / (1.0f + std::exp(-zo));
-        const float cv = fv * c[b * H + j] + iv * gv;
+        // c_ still holds c_{t-1} at [b, j]: each element is read exactly
+        // once before being overwritten with c_t.
+        const float cv = fv * c_[b * H + j] + iv * gv;
         const float tcv = std::tanh(cv);
         gi[b * H + j] = iv;
         gf[b * H + j] = fv;
         gg[b * H + j] = gv;
         go[b * H + j] = ov;
-        ct[b * H + j] = cv;
+        c_[b * H + j] = cv;
         tc[b * H + j] = tcv;
-        ht[b * H + j] = ov * tcv;
-        out[(b * steps + t) * H + j] = ht[b * H + j];
+        const float htv = ov * tcv;
+        h_[b * H + j] = htv;
+        out[(b * steps + t) * H + j] = htv;
       }
     }
-    gate_i_[t] = std::move(gi);
-    gate_f_[t] = std::move(gf);
-    gate_g_[t] = std::move(gg);
-    gate_o_[t] = std::move(go);
-    cell_[t] = ct;
-    tanh_cell_[t] = std::move(tc);
-    h = std::move(ht);
-    c = std::move(ct);
+    cell_[t] = c_;
   }
   return out;
 }
@@ -147,18 +156,20 @@ Tensor Lstm::backward(const Tensor& grad_output) {
     throw std::invalid_argument("Lstm::backward: grad shape mismatch");
   }
   Tensor grad_input(input.shape());
-  Tensor dh_next({batch, H});
-  Tensor dc_next({batch, H});
+  dh_next_.ensure_shape(batch, H);
+  dh_next_.zero();
+  dc_next_.ensure_shape(batch, H);
+  dc_next_.zero();
   for (std::size_t t = steps; t-- > 0;) {
     // dh_t = upstream slice + gradient flowing back from step t+1.
-    Tensor dh = dh_next;
+    dh_ = dh_next_;
     for (std::size_t b = 0; b < batch; ++b) {
       for (std::size_t j = 0; j < H; ++j) {
-        dh[b * H + j] += grad_output[(b * steps + t) * H + j];
+        dh_[b * H + j] += grad_output[(b * steps + t) * H + j];
       }
     }
-    Tensor dz({batch, 4 * H});
-    Tensor dc_prev({batch, H});
+    dz_.ensure_shape(batch, 4 * H);
+    dc_prev_.ensure_shape(batch, H);
     for (std::size_t b = 0; b < batch; ++b) {
       for (std::size_t j = 0; j < H; ++j) {
         const float iv = gate_i_[t][b * H + j];
@@ -166,42 +177,44 @@ Tensor Lstm::backward(const Tensor& grad_output) {
         const float gv = gate_g_[t][b * H + j];
         const float ov = gate_o_[t][b * H + j];
         const float tcv = tanh_cell_[t][b * H + j];
-        const float dhv = dh[b * H + j];
-        float dc = dc_next[b * H + j] + dhv * ov * (1.0f - tcv * tcv);
+        const float dhv = dh_[b * H + j];
+        float dc = dc_next_[b * H + j] + dhv * ov * (1.0f - tcv * tcv);
         const float do_pre = dhv * tcv * ov * (1.0f - ov);
         const float di_pre = dc * gv * iv * (1.0f - iv);
         const float df_pre = dc * c_prev_[t][b * H + j] * fv * (1.0f - fv);
         const float dg_pre = dc * iv * (1.0f - gv * gv);
-        dz[b * 4 * H + j] = di_pre;
-        dz[b * 4 * H + H + j] = df_pre;
-        dz[b * 4 * H + 2 * H + j] = dg_pre;
-        dz[b * 4 * H + 3 * H + j] = do_pre;
-        dc_prev[b * H + j] = dc * fv;
+        dz_[b * 4 * H + j] = di_pre;
+        dz_[b * 4 * H + H + j] = df_pre;
+        dz_[b * 4 * H + 2 * H + j] = dg_pre;
+        dz_[b * 4 * H + 3 * H + j] = do_pre;
+        dc_prev_[b * H + j] = dc * fv;
       }
     }
     // Parameter gradients.
-    Tensor xt({batch, input_dim_});
+    xt_.ensure_shape(batch, input_dim_);
     for (std::size_t b = 0; b < batch; ++b) {
       for (std::size_t d = 0; d < input_dim_; ++d) {
-        xt[b * input_dim_ + d] = input[(b * steps + t) * input_dim_ + d];
+        xt_[b * input_dim_ + d] = input[(b * steps + t) * input_dim_ + d];
       }
     }
-    grad_w_x_ += tensor::matmul_tn(dz, xt);
-    grad_w_h_ += tensor::matmul_tn(dz, h_prev_[t]);
+    tensor::matmul_tn_into(gw_tmp_, dz_, xt_);
+    grad_w_x_ += gw_tmp_;
+    tensor::matmul_tn_into(gw_tmp_, dz_, h_prev_[t]);
+    grad_w_h_ += gw_tmp_;
     for (std::size_t b = 0; b < batch; ++b) {
       for (std::size_t j = 0; j < 4 * H; ++j) {
-        grad_bias_[j] += dz[b * 4 * H + j];
+        grad_bias_[j] += dz_[b * 4 * H + j];
       }
     }
     // Input and recurrent gradients.
-    Tensor dx = tensor::matmul(dz, w_x_);  // [B, D]
+    tensor::matmul_into(dx_, dz_, w_x_);  // [B, D]
     for (std::size_t b = 0; b < batch; ++b) {
       for (std::size_t d = 0; d < input_dim_; ++d) {
-        grad_input[(b * steps + t) * input_dim_ + d] = dx[b * input_dim_ + d];
+        grad_input[(b * steps + t) * input_dim_ + d] = dx_[b * input_dim_ + d];
       }
     }
-    dh_next = tensor::matmul(dz, w_h_);  // [B, H]
-    dc_next = std::move(dc_prev);
+    tensor::matmul_into(dh_next_, dz_, w_h_);  // [B, H]
+    std::swap(dc_next_, dc_prev_);
   }
   return grad_input;
 }

@@ -53,10 +53,18 @@ class Lstm final : public Module {
   Tensor bias_;  // [4H]
   Tensor grad_w_x_, grad_w_h_, grad_bias_;
 
-  // Per-forward caches (one entry per timestep).
+  // Per-forward caches (one entry per timestep). The vectors are resized
+  // only when the step count changes and each Tensor is reshaped in place,
+  // so repeated train steps on a fixed batch shape reuse all cache storage.
   Tensor cached_input_;
   std::vector<Tensor> gate_i_, gate_f_, gate_g_, gate_o_;  // each [B, H]
   std::vector<Tensor> cell_, tanh_cell_, h_prev_, c_prev_;
+
+  // Step workspaces (forward: running state + pre-activations; backward:
+  // per-step gradients and matmul scratch). Warm after the first call, so
+  // the steady-state train step allocates only the tensors it must return.
+  Tensor h_, c_, xt_, z_, zh_;
+  Tensor dh_, dz_, dc_prev_, dh_next_, dc_next_, dx_, gw_tmp_;
 };
 
 }  // namespace jwins::nn

@@ -141,6 +141,20 @@ Tensor Tensor::reshape(Shape new_shape) const {
   return t;
 }
 
+void Tensor::ensure_shape(const Shape& shape) {
+  if (shape_ != shape) shape_ = shape;
+  const std::size_t n = numel(shape_);
+  if (data_.size() != n) data_.resize(n, 0.0f);
+}
+
+void Tensor::ensure_shape(std::size_t rows, std::size_t cols) {
+  if (shape_.size() != 2) shape_.assign(2, 0);
+  shape_[0] = rows;
+  shape_[1] = cols;
+  const std::size_t n = rows * cols;
+  if (data_.size() != n) data_.resize(n, 0.0f);
+}
+
 Tensor Tensor::transposed() const {
   if (rank() != 2) {
     throw std::invalid_argument("transposed() requires a rank-2 tensor, got " +
@@ -269,12 +283,13 @@ Tensor operator*(float scalar, Tensor rhs) {
   return rhs;
 }
 
-Tensor matmul(const Tensor& a, const Tensor& b) {
+void matmul_into(Tensor& out, const Tensor& a, const Tensor& b) {
   if (a.rank() != 2 || b.rank() != 2 || a.dim(1) != b.dim(0)) {
     throw_shape_mismatch(a.shape(), b.shape(), "matmul");
   }
   const std::size_t m = a.dim(0), k = a.dim(1), n = b.dim(1);
-  Tensor out({m, n});
+  out.ensure_shape(m, n);
+  out.zero();
   const float* pa = a.raw();
   const float* pb = b.raw();
   float* po = out.raw();
@@ -287,15 +302,24 @@ Tensor matmul(const Tensor& a, const Tensor& b) {
       for (std::size_t j = 0; j < n; ++j) orow[j] += av * brow[j];
     }
   }
+}
+
+Tensor matmul(const Tensor& a, const Tensor& b) {
+  if (a.rank() != 2 || b.rank() != 2 || a.dim(1) != b.dim(0)) {
+    throw_shape_mismatch(a.shape(), b.shape(), "matmul");
+  }
+  Tensor out({a.dim(0), b.dim(1)});  // single allocation, already zeroed
+  matmul_into(out, a, b);
   return out;
 }
 
-Tensor matmul_tn(const Tensor& a, const Tensor& b) {
+void matmul_tn_into(Tensor& out, const Tensor& a, const Tensor& b) {
   if (a.rank() != 2 || b.rank() != 2 || a.dim(0) != b.dim(0)) {
     throw_shape_mismatch(a.shape(), b.shape(), "matmul_tn");
   }
   const std::size_t k = a.dim(0), m = a.dim(1), n = b.dim(1);
-  Tensor out({m, n});
+  out.ensure_shape(m, n);
+  out.zero();
   const float* pa = a.raw();
   const float* pb = b.raw();
   float* po = out.raw();
@@ -309,15 +333,23 @@ Tensor matmul_tn(const Tensor& a, const Tensor& b) {
       for (std::size_t j = 0; j < n; ++j) orow[j] += av * brow[j];
     }
   }
+}
+
+Tensor matmul_tn(const Tensor& a, const Tensor& b) {
+  if (a.rank() != 2 || b.rank() != 2 || a.dim(0) != b.dim(0)) {
+    throw_shape_mismatch(a.shape(), b.shape(), "matmul_tn");
+  }
+  Tensor out({a.dim(1), b.dim(1)});
+  matmul_tn_into(out, a, b);
   return out;
 }
 
-Tensor matmul_nt(const Tensor& a, const Tensor& b) {
+void matmul_nt_into(Tensor& out, const Tensor& a, const Tensor& b) {
   if (a.rank() != 2 || b.rank() != 2 || a.dim(1) != b.dim(1)) {
     throw_shape_mismatch(a.shape(), b.shape(), "matmul_nt");
   }
   const std::size_t m = a.dim(0), k = a.dim(1), n = b.dim(0);
-  Tensor out({m, n});
+  out.ensure_shape(m, n);
   const float* pa = a.raw();
   const float* pb = b.raw();
   float* po = out.raw();
@@ -330,6 +362,14 @@ Tensor matmul_nt(const Tensor& a, const Tensor& b) {
       po[i * n + j] = static_cast<float>(acc);
     }
   }
+}
+
+Tensor matmul_nt(const Tensor& a, const Tensor& b) {
+  if (a.rank() != 2 || b.rank() != 2 || a.dim(1) != b.dim(1)) {
+    throw_shape_mismatch(a.shape(), b.shape(), "matmul_nt");
+  }
+  Tensor out({a.dim(0), b.dim(0)});
+  matmul_nt_into(out, a, b);
   return out;
 }
 

@@ -89,6 +89,17 @@ class Tensor {
   /// Returns a copy with a new shape; numel must be preserved.
   Tensor reshape(Shape new_shape) const;
 
+  /// Workspace helper: re-shapes this tensor in place, reusing the existing
+  /// storage when the element count already matches (no heap traffic in
+  /// steady state). Element values are preserved for the common prefix and
+  /// zero-filled for any growth; callers treating this as an output buffer
+  /// should overwrite or zero() it.
+  void ensure_shape(const Shape& shape);
+
+  /// Rank-2 ensure_shape that avoids materializing a temporary Shape (the
+  /// hot path for matmul workspaces — keeps warm reuse truly allocation-free).
+  void ensure_shape(std::size_t rows, std::size_t cols);
+
   /// Returns a transposed copy of a rank-2 tensor.
   Tensor transposed() const;
 
@@ -146,6 +157,13 @@ Tensor matmul_tn(const Tensor& a, const Tensor& b);
 
 /// matmul with the second operand transposed: a·bᵀ where b is [n,k].
 Tensor matmul_nt(const Tensor& a, const Tensor& b);
+
+/// Scratch variants: compute into `out` (reshaped via ensure_shape, so a
+/// warm workspace makes the call allocation-free). Bit-identical to the
+/// value-returning forms; `out` must not alias an operand.
+void matmul_into(Tensor& out, const Tensor& a, const Tensor& b);
+void matmul_tn_into(Tensor& out, const Tensor& a, const Tensor& b);
+void matmul_nt_into(Tensor& out, const Tensor& a, const Tensor& b);
 
 /// Dot product of two same-sized tensors viewed as flat vectors.
 float dot(const Tensor& a, const Tensor& b);

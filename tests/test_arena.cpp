@@ -448,3 +448,91 @@ TEST(ArenaDeterminism, EngineJsonByteIdenticalAcrossThreadCounts) {
 
 }  // namespace
 }  // namespace jwins
+
+// --- LSTM train-step allocation pin ----------------------------------------
+// The LSTM arena treatment (member workspaces + in-place caches in
+// nn::Lstm, rank-2 ensure_shape) took the bench's lstm_train_step from
+// ~1218 allocs/op to a few dozen. Pin that reduction with a counting
+// operator new, mirroring bench_micro's hook. Sanitized builds replace the
+// allocator themselves, so the hook (and the test) is compiled out there —
+// the plain Debug/Release CI jobs keep the pin.
+#if defined(__SANITIZE_ADDRESS__) || defined(__SANITIZE_THREAD__)
+#define JWINS_TEST_ALLOC_HOOK 0
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer) || __has_feature(thread_sanitizer)
+#define JWINS_TEST_ALLOC_HOOK 0
+#else
+#define JWINS_TEST_ALLOC_HOOK 1
+#endif
+#else
+#define JWINS_TEST_ALLOC_HOOK 1
+#endif
+
+#if JWINS_TEST_ALLOC_HOOK
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+
+#include "nn/models.hpp"
+#include "nn/sgd.hpp"
+
+namespace {
+std::atomic<std::uint64_t> g_test_alloc_count{0};
+}  // namespace
+
+void* operator new(std::size_t size) {
+  g_test_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size) { return ::operator new(size); }
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace jwins {
+namespace {
+
+TEST(LstmArena, SteadyStateTrainStepAllocationBound) {
+  nn::CharLstm::Config cfg;
+  cfg.vocab = 30;
+  cfg.embedding_dim = 12;
+  cfg.hidden = 24;
+  cfg.layers = 2;
+  nn::CharLstm model(cfg, 1);
+  nn::Sgd opt(model.parameters(), model.gradients(),
+              nn::Sgd::Options{.learning_rate = 0.05f});
+  nn::Batch batch;
+  batch.x = tensor::Tensor({8, 16});
+  batch.labels.resize(8 * 16);
+  std::mt19937 rng(3);
+  std::uniform_int_distribution<int> tok(0, 29);
+  for (std::size_t i = 0; i < batch.x.size(); ++i) {
+    batch.x[i] = static_cast<float>(tok(rng));
+    batch.labels[i] = tok(rng);
+  }
+  auto step = [&] {
+    model.zero_grad();
+    (void)model.loss_and_grad(batch);
+    opt.step();
+  };
+  // Warm the member workspaces and caches.
+  for (int i = 0; i < 3; ++i) step();
+  const std::uint64_t before =
+      g_test_alloc_count.load(std::memory_order_relaxed);
+  constexpr int kIters = 16;
+  for (int i = 0; i < kIters; ++i) step();
+  const std::uint64_t per_op =
+      (g_test_alloc_count.load(std::memory_order_relaxed) - before) / kIters;
+  // Measured ~34/op after the rework (was ~1218). The bound leaves room for
+  // the per-call return tensors the Module interface requires, but fails
+  // loudly if per-timestep churn ever comes back.
+  EXPECT_LE(per_op, 80u) << "LSTM train step allocation churn regressed";
+}
+
+}  // namespace
+}  // namespace jwins
+
+#endif  // JWINS_TEST_ALLOC_HOOK
