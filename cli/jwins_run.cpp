@@ -17,25 +17,26 @@
 //                     DIR/<scenario-name>/
 //   --no-files        Console summary only, write nothing
 //   --dry-run         Print the expanded grid and exit without running
+//   --shard i/N       Execute only grid cells with index % N == i and write
+//                     a grid.shard-i-of-N.json fragment instead of grid.json
+//                     (run all N shards — any machines — then --merge)
+//   --merge           Merge the shard fragments in DIR/<scenario-name>/ into
+//                     a grid.json byte-identical to an unsharded run's, then
+//                     exit (no runs are executed)
+//   --resume          Skip runs whose result JSON already exists and parses;
+//                     their grid entries are rebuilt from the file
 //   --list-keys       Print the scenario key reference and exit
 //
 // Exit codes: 0 success, 2 usage/spec error (message: `error: <key>: <why>`).
 
-#include <cctype>
-#include <cstdio>
-#include <filesystem>
-#include <fstream>
 #include <iomanip>
 #include <iostream>
-#include <sstream>
 #include <string>
 #include <string_view>
 #include <vector>
 
-#include "config/runner.hpp"
 #include "config/scenario.hpp"
-#include "net/time_model.hpp"
-#include "sim/report.hpp"
+#include "config/sweep.hpp"
 
 namespace {
 
@@ -43,7 +44,8 @@ using namespace jwins;
 
 void print_usage(std::ostream& os) {
   os << "usage: jwins_run <file.scenario> [--set key=value]... [--out=DIR]\n"
-        "                 [--no-files] [--dry-run] [--list-keys]\n"
+        "                 [--no-files] [--dry-run] [--shard i/N] [--merge]\n"
+        "                 [--resume] [--list-keys]\n"
         "Scenario key reference: jwins_run --list-keys, or docs/EXPERIMENTS.md\n";
 }
 
@@ -58,61 +60,16 @@ void print_key_reference(std::ostream& os) {
   }
 }
 
-/// "workload=cifar,algorithm=jwins" -> "workload-cifar_algorithm-jwins".
-std::string file_slug(const std::string& label) {
-  std::string slug;
-  for (const char c : label) {
-    if (std::isalnum(static_cast<unsigned char>(c)) || c == '.' || c == '-') {
-      slug += c;
-    } else if (c == ',') {
-      slug += '_';
-    } else {
-      slug += '-';
-    }
-  }
-  return slug;
-}
-
-std::string describe(const config::ScenarioRun& run) {
-  std::string text = "workload=" + run.workload +
-                     " algorithm=" + sim::algorithm_name(run.config.algorithm) +
-                     " nodes=" + std::to_string(run.nodes) +
-                     " rounds=" + std::to_string(run.config.rounds) +
-                     " topology=" + run.topology;
-  if (run.churn_every > 0) {
-    text += " churn_every=" + std::to_string(run.churn_every);
-  }
-  if (run.config.time.extended()) {
-    // Heterogeneous/faulty time model: results carry the sim_time JSON
-    // block; the per-run summary line prints the simulated phase split.
-    text += " time-model=extended";
-  }
-  if (run.config.engine == sim::EngineKind::kAsync) {
-    text += " engine=async";
-    if (run.config.staleness_bound > 0) {
-      text += " staleness=" + std::to_string(run.config.staleness_bound);
-    }
-    if (run.config.async_mode != sim::AsyncMode::kBarrier) {
-      text += " mode=";
-      text += sim::async_mode_name(run.config.async_mode);
-      if (run.config.async_mode == sim::AsyncMode::kWeighted) {
-        std::ostringstream decay;
-        decay << run.config.staleness_decay;
-        text += " decay=" + decay.str();
-      }
-    }
-  }
-  return text;
-}
-
 }  // namespace
 
 int main(int argc, char** argv) {
   std::string scenario_path;
-  std::string out_dir = "jwins_results";
   std::vector<std::pair<std::string, std::string>> overrides;
-  bool write_files = true;
+  config::SweepOptions options;
+  options.console = &std::cout;
   bool dry_run = false;
+  bool merge = false;
+  std::string shard_text;
 
   for (int i = 1; i < argc; ++i) {
     const std::string_view arg = argv[i];
@@ -125,11 +82,21 @@ int main(int argc, char** argv) {
       return 0;
     }
     if (arg == "--no-files") {
-      write_files = false;
+      options.write_files = false;
     } else if (arg == "--dry-run") {
       dry_run = true;
+    } else if (arg == "--merge") {
+      merge = true;
+    } else if (arg == "--resume") {
+      options.resume = true;
     } else if (arg.rfind("--out=", 0) == 0) {
-      out_dir = std::string(arg.substr(6));
+      options.out_dir = std::string(arg.substr(6));
+    } else if (arg == "--shard") {
+      if (i + 1 >= argc) {
+        std::cerr << "error: --shard: expects a following i/N argument\n";
+        return 2;
+      }
+      shard_text = argv[++i];
     } else if (arg == "--set") {
       if (i + 1 >= argc) {
         std::cerr << "error: --set: expects a following key=value argument\n";
@@ -159,10 +126,19 @@ int main(int argc, char** argv) {
     print_usage(std::cerr);
     return 2;
   }
+  if (merge && !shard_text.empty()) {
+    std::cerr << "error: --merge: cannot be combined with --shard\n";
+    return 2;
+  }
+  if (merge && !options.write_files) {
+    std::cerr << "error: --merge: cannot be combined with --no-files\n";
+    return 2;
+  }
 
   std::vector<config::ScenarioRun> runs;
   std::string scenario_name;
   try {
+    if (!shard_text.empty()) options.shard = config::parse_shard(shard_text);
     config::RawScenario raw = config::load_scenario_file(scenario_path);
     for (const auto& [key, value] : overrides) {
       config::set_value(raw, key, value);
@@ -174,106 +150,38 @@ int main(int argc, char** argv) {
     return 2;
   }
 
+  if (merge) {
+    try {
+      const std::string dir = options.out_dir + "/" + scenario_name;
+      const std::string grid = config::merge_shards(dir);
+      std::cout << "merged shard fragments into " << grid << "\n";
+    } catch (const config::ScenarioError& e) {
+      std::cerr << "error: " << e.what() << "\n";
+      return 2;
+    }
+    return 0;
+  }
+
   std::cout << "scenario " << scenario_name << ": " << runs.size()
             << (runs.size() == 1 ? " run" : " runs") << " ("
             << scenario_path << ")\n";
   if (dry_run) {
     for (const config::ScenarioRun& run : runs) {
       std::cout << "  [" << run.index + 1 << "/" << runs.size() << "] "
-                << run.label << "  (" << describe(run) << ")\n";
+                << run.label << "  (" << config::describe_run(run) << ")"
+                << (config::shard_owns(options.shard, run.index)
+                        ? ""
+                        : "  [other shard]")
+                << "\n";
     }
     return 0;
   }
 
-  namespace fs = std::filesystem;
-  fs::path run_dir;
-  if (write_files) {
-    run_dir = fs::path(out_dir) / scenario_name;
-    std::error_code ec;
-    fs::create_directories(run_dir, ec);
-    if (ec) {
-      std::cerr << "error: --out: cannot create " << run_dir.string() << ": "
-                << ec.message() << "\n";
-      return 2;
-    }
-  }
-
-  std::ostringstream grid_index;
-  grid_index << "[";
-  for (const config::ScenarioRun& run : runs) {
-    std::cout << "[" << run.index + 1 << "/" << runs.size() << "] "
-              << run.label << "  (" << describe(run) << ")" << std::endl;
-    if (run.config.time.extended()) {
-      // Same construction the Experiment performs, so the printed summary
-      // (drawn straggler count included) matches the run exactly.
-      const net::TimeModel model(run.nodes, run.config.link, run.config.time,
-                                 run.config.seed);
-      std::cout << "    time model: " << model.describe() << "\n";
-    }
-    const sim::ExperimentResult result = config::execute(run);
-    std::cout << "    acc=" << std::fixed << std::setprecision(1)
-              << result.final_accuracy * 100.0 << "%  loss="
-              << std::setprecision(3) << result.final_loss
-              << "  rounds=" << result.rounds_run << "  data/node="
-              << sim::format_bytes(result.series.empty()
-                                       ? 0.0
-                                       : result.series.back().avg_bytes_per_node)
-              << "  sim-time=" << sim::format_seconds(result.sim_seconds)
-              << (result.reached_target ? "  [reached target]" : "") << "\n";
-    if (result.sim_time.extended) {
-      const sim::SimTimeBreakdown& st = result.sim_time;
-      std::cout << "    sim: compute=" << sim::format_seconds(st.compute_seconds)
-                << "  comm=" << sim::format_seconds(st.comm_seconds)
-                << "  dropped=" << st.dropped_total << " (iid=" << st.dropped_iid
-                << " edge=" << st.dropped_edge << " burst=" << st.dropped_burst
-                << " crash=" << st.dropped_crash << ")"
-                << "  crashed-rounds=" << st.crashed_node_rounds
-                << "  stragglers=" << st.stragglers << "\n";
-    }
-    if (result.event_engine.enabled) {
-      const sim::EventEngineStats& ee = result.event_engine;
-      std::cout << "    events: processed=" << ee.events_processed
-                << "  max-queue=" << ee.max_queue_depth
-                << "  delivered=" << ee.messages_delivered
-                << "  in-flight=" << ee.messages_in_flight
-                << "  stale=" << ee.messages_stale_dropped
-                << "  overrides=" << ee.staleness_overrides
-                << "  local-steps=" << ee.local_steps_min() << ".."
-                << ee.local_steps_max() << "\n";
-    }
-
-    if (!write_files) continue;
-    char prefix[16];
-    std::snprintf(prefix, sizeof prefix, "run%03zu_", run.index);
-    const std::string base = prefix + file_slug(run.label);
-    const fs::path json_path = run_dir / (base + ".json");
-    const fs::path csv_path = run_dir / (base + ".csv");
-    {
-      std::ofstream json(json_path);
-      sim::write_result_json(json, scenario_name + "/" + run.label, result);
-    }
-    {
-      std::ofstream csv(csv_path);
-      sim::print_series_csv(csv, scenario_name + "/" + run.label, result);
-    }
-    grid_index << (run.index == 0 ? "\n" : ",\n");
-    grid_index << "  {\"index\": " << run.index
-               << ", \"label\": " << sim::json_string(run.label)
-               << ", \"json\": " << sim::json_string(base + ".json")
-               << ", \"csv\": " << sim::json_string(base + ".csv")
-               << ", \"final_accuracy\": "
-               << sim::json_number(result.final_accuracy)
-               << ", \"final_loss\": " << sim::json_number(result.final_loss)
-               << ", \"rounds_run\": " << result.rounds_run << "}";
-  }
-
-  if (write_files) {
-    grid_index << (runs.empty() ? "]\n" : "\n]\n");
-    std::ofstream grid(run_dir / "grid.json");
-    grid << grid_index.str();
-    std::cout << "wrote " << runs.size() << " result"
-              << (runs.size() == 1 ? "" : "s") << " (JSON + CSV) and grid.json"
-              << " to " << run_dir.string() << "\n";
+  try {
+    config::run_sweep(runs, scenario_name, options);
+  } catch (const config::ScenarioError& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 2;
   }
   return 0;
 }

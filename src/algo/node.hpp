@@ -74,6 +74,18 @@ class DlNode {
 
   std::uint32_t rank() const noexcept { return rank_; }
 
+  /// Retargets this node object at another simulated node's identity: rank,
+  /// data shard, and sampler-stream position (counter-mode samplers only —
+  /// the shuffle sampler's stream is stateful and cannot be repositioned).
+  /// The compact node-state engine binds one lane-worker node per execution
+  /// lane to millions of (rank, shard, params) triples this way; model
+  /// parameters are loaded separately via set_flat_params().
+  void rebind(std::uint32_t rank, std::span<const std::size_t> shard,
+              std::uint64_t sampler_seed, std::size_t sampler_step) {
+    rank_ = rank;
+    sampler_.rebind(shard, sampler_seed, sampler_step);
+  }
+
   /// Runs tau mini-batch SGD steps on local data. Returns mean train loss.
   float local_train();
 

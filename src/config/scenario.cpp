@@ -346,13 +346,14 @@ const std::vector<KeySpec>& key_specs() {
 
     // --- experiment grid -------------------------------------------------
     add({"workload", "enum", "cifar",
-         "cifar, cifar4, movielens, shakespeare, celeba, femnist",
+         "cifar, cifar4, movielens, shakespeare, celeba, femnist, scale",
          "Paper dataset stand-in (cifar4 = the 4-shards-per-node split of "
-         "the scalability study)"},
+         "the scalability study; scale = the fixed-pool tiny-model workload "
+         "for 100k-1M-node runs)"},
         [](ScenarioRun& r, const std::string& v) {
           expect_enum("workload", v,
                       {"cifar", "cifar4", "movielens", "shakespeare", "celeba",
-                       "femnist"});
+                       "femnist", "scale"});
           r.workload = v;
         });
     add({"nodes", "uint", "16", ">= 2", "Number of simulated nodes"},
@@ -487,6 +488,15 @@ const std::vector<KeySpec>& key_specs() {
         [](ScenarioRun& r, const std::string& v) {
           r.config.eval_node_limit = parse_uint("eval_node_limit", v);
         });
+    add({"eval_sample", "uint", "0 (all)", "0, or < nodes",
+         "Sampled evaluation: reduce every evaluation (test metrics, mean "
+         "train loss, JWINS alpha) over a seeded per-round subset of N nodes "
+         "instead of all of them — the O(n)-per-eval fix for 100k-1M-node "
+         "runs. 0 or >= nodes = full reduce; mutually exclusive with "
+         "eval_node_limit"},
+        [](ScenarioRun& r, const std::string& v) {
+          r.config.eval_sample = parse_uint("eval_sample", v);
+        });
 
     // --- execution -------------------------------------------------------
     add({"threads", "uint", "0 (auto)", "0 = all hardware threads",
@@ -494,6 +504,30 @@ const std::vector<KeySpec>& key_specs() {
         [](ScenarioRun& r, const std::string& v) {
           r.config.threads =
               static_cast<unsigned>(parse_uint("threads", v));
+        });
+    add({"node_state", "enum", "full", "full, compact",
+         "Per-node state layout: full = one model/optimizer/sampler object "
+         "per node (the reference layout), compact = shared base weights + "
+         "per-node copy-on-write deltas driven by per-lane workers — the "
+         "100k-1M-node memory diet. compact requires engine = sync, "
+         "batch_sampler = counter, algorithm = random-sampling or "
+         "full-sharing, and no byzantine/robust_agg/momentum; results are "
+         "byte-identical to full under the same config"},
+        [](ScenarioRun& r, const std::string& v) {
+          expect_enum("node_state", v, {"full", "compact"});
+          r.config.node_state = v == "compact" ? sim::NodeState::kCompact
+                                               : sim::NodeState::kFull;
+        });
+    add({"batch_sampler", "enum", "shuffle", "shuffle, counter",
+         "Mini-batch sampling discipline: shuffle = per-epoch reshuffle of "
+         "the node's shard (the legacy stateful stream), counter = "
+         "counter-keyed draws with replacement, a pure function of (node "
+         "stream, step) — seekable, hence required by node_state = compact"},
+        [](ScenarioRun& r, const std::string& v) {
+          expect_enum("batch_sampler", v, {"shuffle", "counter"});
+          r.config.batch_sampler = v == "counter"
+                                       ? sim::BatchSampler::kCounter
+                                       : sim::BatchSampler::kShuffle;
         });
     add({"compute_seconds_per_round", "float", "0.05", ">= 0",
          "Simulated compute cost per round (identical across algorithms)"},

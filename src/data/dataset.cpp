@@ -4,24 +4,43 @@
 #include <numeric>
 #include <stdexcept>
 
+#include "core/rng.hpp"
+
 namespace jwins::data {
 
 Sampler::Sampler(const Dataset& dataset, std::vector<std::size_t> indices,
-                 std::size_t batch_size, std::uint64_t seed)
+                 std::size_t batch_size, std::uint64_t seed, Mode mode)
     : dataset_(&dataset),
       indices_(std::move(indices)),
       batch_size_(batch_size),
-      rng_(seed) {
+      rng_(seed),
+      mode_(mode),
+      seed_(seed) {
   if (indices_.empty()) {
     throw std::invalid_argument("Sampler: empty index set");
   }
   if (batch_size_ == 0) {
     throw std::invalid_argument("Sampler: batch size must be positive");
   }
-  std::shuffle(indices_.begin(), indices_.end(), rng_);
+  // The counter stream indexes the shard in its given (partition) order:
+  // shuffling here would make the draw depend on which object the shard
+  // was bound to, breaking rebind()'s full-vs-compact equivalence.
+  if (mode_ == Mode::kShuffle) {
+    std::shuffle(indices_.begin(), indices_.end(), rng_);
+  }
 }
 
 Batch Sampler::next() {
+  if (mode_ == Mode::kCounter) {
+    const std::size_t take = std::min(batch_size_, indices_.size());
+    core::CounterRng rng(seed_, 0, step_, 0);
+    pick_.resize(take);
+    for (std::size_t j = 0; j < take; ++j) {
+      pick_[j] = indices_[rng() % indices_.size()];
+    }
+    ++step_;
+    return dataset_->make_batch(pick_);
+  }
   const std::size_t take = std::min(batch_size_, indices_.size());
   if (cursor_ + take > indices_.size()) {
     std::shuffle(indices_.begin(), indices_.end(), rng_);
@@ -30,6 +49,26 @@ Batch Sampler::next() {
   std::span<const std::size_t> slice(indices_.data() + cursor_, take);
   cursor_ += take;
   return dataset_->make_batch(slice);
+}
+
+void Sampler::seek(std::size_t step) {
+  if (mode_ != Mode::kCounter) {
+    throw std::logic_error("Sampler: seek() requires counter mode");
+  }
+  step_ = step;
+}
+
+void Sampler::rebind(std::span<const std::size_t> indices, std::uint64_t seed,
+                     std::size_t step) {
+  if (mode_ != Mode::kCounter) {
+    throw std::logic_error("Sampler: rebind() requires counter mode");
+  }
+  if (indices.empty()) {
+    throw std::invalid_argument("Sampler: rebind to empty index set");
+  }
+  indices_.assign(indices.begin(), indices.end());
+  seed_ = seed;
+  step_ = step;
 }
 
 std::size_t Sampler::batches_per_epoch() const noexcept {

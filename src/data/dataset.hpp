@@ -8,6 +8,7 @@
 #include <cstdint>
 #include <memory>
 #include <random>
+#include <span>
 #include <vector>
 
 #include "nn/model.hpp"
@@ -39,19 +40,42 @@ class Dataset {
 
 /// Draws shuffled mini-batches from a fixed index subset (one node's shard),
 /// reshuffling each epoch — the standard local SGD sampling loop.
+///
+/// kCounter mode replaces the stateful shuffle with a counter-keyed draw:
+/// step s samples `batch_size` indices with replacement from a fresh
+/// core::CounterRng keyed on (seed, s). The stream is a pure function of
+/// (seed, step), so it can be repositioned with seek() and the whole sampler
+/// retargeted to another node's shard with rebind() — the property the
+/// compact node-state engine uses to run millions of simulated nodes through
+/// a handful of lane-worker samplers without per-node sampler state.
 class Sampler {
  public:
-  Sampler(const Dataset& dataset, std::vector<std::size_t> indices,
-          std::size_t batch_size, std::uint64_t seed);
+  enum class Mode { kShuffle, kCounter };
 
-  /// Next mini-batch; wraps around (new shuffle) at epoch end.
+  Sampler(const Dataset& dataset, std::vector<std::size_t> indices,
+          std::size_t batch_size, std::uint64_t seed,
+          Mode mode = Mode::kShuffle);
+
+  /// Next mini-batch; wraps around (new shuffle) at epoch end. In kCounter
+  /// mode: the step_-keyed with-replacement draw, then step_ advances.
   Batch next();
 
   std::size_t sample_count() const noexcept { return indices_.size(); }
   std::size_t batch_size() const noexcept { return batch_size_; }
+  Mode mode() const noexcept { return mode_; }
 
   /// Number of batches per full pass over the local data.
   std::size_t batches_per_epoch() const noexcept;
+
+  /// Repositions the counter stream so the next draw is step `step`'s
+  /// (kCounter only; throws in kShuffle mode, whose stream is stateful).
+  void seek(std::size_t step);
+
+  /// Retargets this sampler at another shard/stream without allocating in
+  /// steady state (kCounter only): `indices` are copied into the existing
+  /// storage, the stream key becomes `seed`, and the position `step`.
+  void rebind(std::span<const std::size_t> indices, std::uint64_t seed,
+              std::size_t step);
 
  private:
   const Dataset* dataset_;
@@ -59,6 +83,10 @@ class Sampler {
   std::size_t batch_size_;
   std::size_t cursor_ = 0;
   std::mt19937_64 rng_;
+  Mode mode_ = Mode::kShuffle;
+  std::uint64_t seed_ = 0;    ///< kCounter stream key
+  std::size_t step_ = 0;      ///< kCounter position
+  std::vector<std::size_t> pick_;  ///< kCounter per-draw scratch
 };
 
 /// Materializes the whole dataset (or an `limit`-sized prefix subsample) as

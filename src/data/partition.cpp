@@ -91,6 +91,22 @@ Partition client_partition(const Dataset& dataset, std::size_t nodes,
   return out;
 }
 
+Partition cyclic_partition(std::size_t samples, std::size_t nodes,
+                           std::size_t per_node) {
+  if (samples == 0 || nodes == 0 || per_node == 0) {
+    throw std::invalid_argument(
+        "cyclic_partition: samples, nodes, and per_node must be positive");
+  }
+  Partition out(nodes);
+  for (std::size_t i = 0; i < nodes; ++i) {
+    out[i].reserve(per_node);
+    for (std::size_t j = 0; j < per_node; ++j) {
+      out[i].push_back((i * per_node + j) % samples);
+    }
+  }
+  return out;
+}
+
 std::size_t distinct_labels(const Dataset& dataset,
                             const std::vector<std::size_t>& indices) {
   std::set<std::int32_t> labels;

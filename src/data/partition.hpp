@@ -30,6 +30,15 @@ Partition shard_partition(const Dataset& dataset, std::size_t nodes,
 Partition client_partition(const Dataset& dataset, std::size_t nodes,
                            std::uint64_t seed);
 
+/// Deterministic striding split for huge node counts: node i gets the
+/// `per_node` indices {(i * per_node + j) % samples}. No RNG, no dataset
+/// walk — O(nodes * per_node) total, so a million-node partition builds in
+/// milliseconds where the shuffling partitioners above would dominate the
+/// run. Nodes wrap around the sample pool once nodes * per_node > samples
+/// (shards overlap; fine for the synthetic scale workload).
+Partition cyclic_partition(std::size_t samples, std::size_t nodes,
+                           std::size_t per_node);
+
 /// Number of distinct labels present in a node's shard (diagnostic used by
 /// tests to verify non-IIDness).
 std::size_t distinct_labels(const Dataset& dataset,

@@ -88,12 +88,21 @@ class TopologyProvider {
   virtual ~TopologyProvider() = default;
   /// Graph to use in round t. References stay valid until the next call.
   virtual const Graph& round_graph(std::size_t t) = 0;
+
+  /// Cache epoch of round t: round_graph(t) is guaranteed identical for any
+  /// two rounds with the same epoch, so derived per-graph data (the
+  /// Metropolis-Hastings mixing weights) can be reused across an epoch
+  /// instead of being recomputed O(n) every round. The conservative default
+  /// (a fresh epoch per round) is always correct; providers that know their
+  /// schedule override it.
+  virtual std::size_t round_epoch(std::size_t t) const noexcept { return t; }
 };
 
 class StaticTopology final : public TopologyProvider {
  public:
   explicit StaticTopology(Graph g) : graph_(std::move(g)) {}
   const Graph& round_graph(std::size_t) override { return graph_; }
+  std::size_t round_epoch(std::size_t) const noexcept override { return 0; }
 
  private:
   Graph graph_;
@@ -108,6 +117,9 @@ class DynamicRegularTopology final : public TopologyProvider {
       : n_(n), d_(d), seed_(seed),
         rewire_every_(rewire_every == 0 ? 1 : rewire_every) {}
   const Graph& round_graph(std::size_t t) override;
+  std::size_t round_epoch(std::size_t t) const noexcept override {
+    return t / rewire_every_;
+  }
 
  private:
   std::size_t n_;

@@ -66,7 +66,7 @@ void Network::send(std::uint32_t to, Message msg) {
     sink_->on_deliver(to, std::move(msg));
     return;
   }
-  std::lock_guard<std::mutex> lock(mailbox_locks_[to]);
+  std::lock_guard<std::mutex> lock(mailbox_lock(to));
   mailboxes_[to].push_back(std::move(msg));
 }
 
@@ -74,7 +74,7 @@ void Network::deliver(std::uint32_t to, Message msg) {
   if (to >= mailboxes_.size()) {
     throw std::out_of_range("Network::deliver: destination out of range");
   }
-  std::lock_guard<std::mutex> lock(mailbox_locks_[to]);
+  std::lock_guard<std::mutex> lock(mailbox_lock(to));
   mailboxes_[to].push_back(std::move(msg));
 }
 
@@ -90,7 +90,7 @@ void Network::drain_into(std::uint32_t node, std::vector<Message>& out) {
   }
   out.clear();
   {
-    std::lock_guard<std::mutex> lock(mailbox_locks_[node]);
+    std::lock_guard<std::mutex> lock(mailbox_lock(node));
     out.swap(mailboxes_[node]);
   }
   // Canonical delivery order: concurrent senders append in scheduling order,

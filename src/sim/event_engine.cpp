@@ -177,7 +177,7 @@ ExperimentResult EventEngine::run_barrier() {
     if (g.size() != n) {
       throw std::logic_error("EventEngine: topology size != node count");
     }
-    const graph::MixingWeights weights = graph::metropolis_hastings(g);
+    const graph::MixingWeights& weights = exp_.mixing_weights(g, t);
     const double round_start = network.simulated_seconds();
 
     // Phase events: every alive node finishes its tau local steps at the
@@ -246,11 +246,20 @@ ExperimentResult EventEngine::run_barrier() {
       }
     }
     if (cfg.algorithm == Algorithm::kJwins) {
-      for (std::uint32_t i = 0; i < n; ++i) {
-        if (!node_alive(i, t)) continue;
-        exp_.alpha_sum_ +=
-            static_cast<algo::JwinsNode&>(*exp_.nodes_[i]).last_alpha();
-        ++exp_.alpha_samples_;
+      if (exp_.eval_sample_active()) {
+        for (const std::uint32_t i : exp_.eval_subset(t + 1)) {
+          if (!node_alive(i, t)) continue;
+          exp_.alpha_sum_ +=
+              static_cast<algo::JwinsNode&>(*exp_.nodes_[i]).last_alpha();
+          ++exp_.alpha_samples_;
+        }
+      } else {
+        for (std::uint32_t i = 0; i < n; ++i) {
+          if (!node_alive(i, t)) continue;
+          exp_.alpha_sum_ +=
+              static_cast<algo::JwinsNode&>(*exp_.nodes_[i]).last_alpha();
+          ++exp_.alpha_samples_;
+        }
       }
     }
 
@@ -259,15 +268,16 @@ ExperimentResult EventEngine::run_barrier() {
         network.simulated_seconds() >= cfg.stop_at_sim_time;
     const bool last_round = (t + 1 == cfg.rounds) || budget_hit;
     if (t % cfg.eval_every == 0 || last_round) {
-      double mean_train_loss = 0.0;
-      std::size_t trained = 0;
-      for (std::uint32_t i = 0; i < n; ++i) {
-        if (!node_alive(i, t)) continue;
-        mean_train_loss += train_losses[i];
-        ++trained;
-      }
-      mean_train_loss =
-          trained == 0 ? 0.0 : mean_train_loss / static_cast<double>(trained);
+      // Same sampled-population rule as the sync loop: under eval_sample the
+      // mean divides by the subset size, not n.
+      const double mean_train_loss = Experiment::mean_loss_over(
+          train_losses,
+          exp_.eval_sample_active()
+              ? std::span<const std::uint32_t>(exp_.eval_subset(t + 1))
+              : std::span<const std::uint32_t>{},
+          [&](std::size_t i) {
+            return node_alive(static_cast<std::uint32_t>(i), t);
+          });
       const MetricPoint point = exp_.evaluate(t + 1, mean_train_loss);
       result.series.push_back(point);
       if (cfg.target_accuracy > 0.0 &&
@@ -505,15 +515,13 @@ bool EventEngine::maybe_evaluate(ExperimentResult& result) {
     // Global evaluation point: every node has finished round index
     // next_eval_round_ (mirroring the sync schedule t = 0, eval_every, ...).
     if (min_completed < next_eval_round_ + 1) return false;
-    double mean_train_loss = 0.0;
-    std::size_t trained = 0;
-    for (std::size_t i = 0; i < trained_.size(); ++i) {
-      if (!trained_[i]) continue;
-      mean_train_loss += train_losses_[i];
-      ++trained;
-    }
-    mean_train_loss =
-        trained == 0 ? 0.0 : mean_train_loss / static_cast<double>(trained);
+    const double mean_train_loss = Experiment::mean_loss_over(
+        train_losses_,
+        exp_.eval_sample_active()
+            ? std::span<const std::uint32_t>(
+                  exp_.eval_subset(next_eval_round_ + 1))
+            : std::span<const std::uint32_t>{},
+        [&](std::size_t i) { return static_cast<bool>(trained_[i]); });
     // evaluate() reads the Network clock, which the event loop advances at
     // event granularity (advance_time): sim_seconds is the time of the
     // event being processed, and the compute/comm split is cumulative,
@@ -622,15 +630,13 @@ ExperimentResult EventEngine::run_event_loop() {
   result.rounds_run = static_cast<std::size_t>(min_completed);
   if (result.series.empty() ||
       result.series.back().round < result.rounds_run) {
-    double mean_train_loss = 0.0;
-    std::size_t trained = 0;
-    for (std::size_t i = 0; i < n; ++i) {
-      if (!trained_[i]) continue;
-      mean_train_loss += train_losses_[i];
-      ++trained;
-    }
-    mean_train_loss =
-        trained == 0 ? 0.0 : mean_train_loss / static_cast<double>(trained);
+    const double mean_train_loss = Experiment::mean_loss_over(
+        train_losses_,
+        exp_.eval_sample_active()
+            ? std::span<const std::uint32_t>(
+                  exp_.eval_subset(result.rounds_run))
+            : std::span<const std::uint32_t>{},
+        [&](std::size_t i) { return static_cast<bool>(trained_[i]); });
     // The Network clock stands at the last processed event (advance_time),
     // so the final point's sim_seconds and its compute/comm split need no
     // override — collect_summary() reads the same clocks.

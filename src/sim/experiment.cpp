@@ -40,11 +40,35 @@ const char* async_mode_name(AsyncMode mode) {
   return "unknown";
 }
 
+const char* node_state_name(NodeState state) {
+  switch (state) {
+    case NodeState::kFull: return "full";
+    case NodeState::kCompact: return "compact";
+  }
+  return "unknown";
+}
+
+const char* batch_sampler_name(BatchSampler sampler) {
+  switch (sampler) {
+    case BatchSampler::kShuffle: return "shuffle";
+    case BatchSampler::kCounter: return "counter";
+  }
+  return "unknown";
+}
+
 namespace {
 
 /// Stream tag separating each node's mini-batch sampler from its other
 /// random draws (see core::derive_seed).
 constexpr std::uint64_t kSamplerStream = 0xDA7A;
+
+/// Stream tag of the per-round eval-subset draw (eval_sample).
+constexpr std::uint64_t kEvalSampleStream = 0xE7A1;
+
+/// Full-engine batch-size rule; the compact lane workers use the cap alone
+/// (Sampler::next() clamps to the bound shard, so the effective batch is
+/// min(kBatchCap, shard size) in both layouts).
+constexpr std::size_t kBatchCap = 16;
 
 /// Times one engine phase, accumulating real seconds into `slot`.
 template <class Fn>
@@ -78,6 +102,31 @@ std::vector<std::string> ExperimentConfig::validate(std::size_t nodes) const {
   require(eval_every >= 1,
           "eval_every: must be >= 1 (0 would divide by zero in the round loop)");
   require(eval_sample_limit >= 1, "eval_sample_limit: must be >= 1");
+  require(eval_sample == 0 || eval_node_limit == 0,
+          "eval_sample: conflicts with eval_node_limit (two node-subset "
+          "rules; pick one)");
+  if (node_state == NodeState::kCompact) {
+    require(engine == EngineKind::kSync,
+            "node_state: compact requires engine = sync");
+    require(batch_sampler == BatchSampler::kCounter,
+            "node_state: compact requires batch_sampler = counter (the "
+            "shuffle sampler's stream is stateful and cannot be rebound "
+            "across nodes)");
+    require(algorithm == Algorithm::kRandomSampling ||
+                algorithm == Algorithm::kFullSharing,
+            "node_state: compact supports algorithm = random-sampling or "
+            "full-sharing (algorithms whose node state is the parameter "
+            "vector alone)");
+    require(byzantine_nodes == 0,
+            "node_state: compact does not support byzantine_nodes (per-node "
+            "attacker flags need full node objects)");
+    require(robust_agg.kind == core::RobustAggKind::kNone,
+            "node_state: compact requires robust_agg = none (per-node "
+            "robust counters need full node objects)");
+    require(sgd.momentum == 0.0f,
+            "node_state: compact requires momentum = 0 (momentum keeps "
+            "per-node optimizer state)");
+  }
   require(compute_seconds_per_round >= 0.0,
           "compute_seconds_per_round: must be >= 0");
   require(staleness_bound == 0 || engine == EngineKind::kAsync,
@@ -175,13 +224,13 @@ Experiment::Experiment(ExperimentConfig config, nn::ModelFactory factory,
                               config_.seed)),
       pool_(config_.threads) {
   const std::size_t n = partition.size();
+  n_ = n;
   if (n == 0) throw std::invalid_argument("Experiment: empty partition");
   if (const auto errors = config_.validate(n); !errors.empty()) {
     std::string joined = "Experiment: invalid config";
     for (const std::string& e : errors) joined += "\n  " + e;
     throw std::invalid_argument(joined);
   }
-  nodes_.reserve(n);
   algo::TrainConfig train_config{config_.local_steps, config_.sgd,
                                  config_.seed};
   // PowerGossip's edge vectors are shared randomness: both endpoints must
@@ -189,38 +238,81 @@ Experiment::Experiment(ExperimentConfig config, nn::ModelFactory factory,
   // once, identically for every node (not per rank).
   config_.power_gossip.seed =
       core::derive_seed(config_.seed, 0, 0, config_.power_gossip.seed);
-  for (std::size_t i = 0; i < n; ++i) {
-    auto model = factory();
-    data::Sampler sampler(train, partition[i], /*batch_size=*/
-                          std::max<std::size_t>(1, std::min<std::size_t>(
-                                                       16, partition[i].size())),
-                          core::derive_seed(config_.seed, i, 0, kSamplerStream));
-    const auto rank = static_cast<std::uint32_t>(i);
-    switch (config_.algorithm) {
-      case Algorithm::kFullSharing:
-        nodes_.push_back(std::make_unique<algo::FullSharingNode>(
-            rank, std::move(model), std::move(sampler), train_config));
-        break;
-      case Algorithm::kRandomSampling:
-        nodes_.push_back(std::make_unique<algo::RandomSamplingNode>(
-            rank, std::move(model), std::move(sampler), train_config,
+  const data::Sampler::Mode sampler_mode =
+      config_.batch_sampler == BatchSampler::kCounter
+          ? data::Sampler::Mode::kCounter
+          : data::Sampler::Mode::kShuffle;
+  if (compact()) {
+    // Compact layout: no per-node objects. One lane-worker DlNode per
+    // execution lane (rebound to each simulated node in turn) over a shared
+    // COW parameter store; the partition is retained for rebinds and each
+    // node keeps only a sampler-stream position.
+    partition_ = std::move(partition);
+    for (const auto& shard : partition_) {
+      if (shard.empty()) {
+        throw std::invalid_argument("Experiment: empty partition shard");
+      }
+    }
+    const unsigned lanes = pool_.thread_count();
+    workers_.reserve(lanes);
+    for (unsigned l = 0; l < lanes; ++l) {
+      auto model = factory();
+      data::Sampler sampler(
+          train, partition_[0], kBatchCap,
+          core::derive_seed(config_.seed, 0, 0, kSamplerStream),
+          data::Sampler::Mode::kCounter);
+      // Placeholder identity; bind_worker() retargets before every use.
+      if (config_.algorithm == Algorithm::kRandomSampling) {
+        workers_.push_back(std::make_unique<algo::RandomSamplingNode>(
+            0, std::move(model), std::move(sampler), train_config,
             config_.random_sampling_fraction, config_.seed));
-        break;
-      case Algorithm::kJwins:
-        nodes_.push_back(std::make_unique<algo::JwinsNode>(
-            rank, std::move(model), std::move(sampler), train_config,
-            config_.jwins));
-        break;
-      case Algorithm::kChoco:
-        nodes_.push_back(std::make_unique<algo::ChocoNode>(
-            rank, std::move(model), std::move(sampler), train_config,
-            config_.choco));
-        break;
-      case Algorithm::kPowerGossip:
-        nodes_.push_back(std::make_unique<algo::PowerGossipNode>(
-            rank, std::move(model), std::move(sampler), train_config,
-            config_.power_gossip));
-        break;
+      } else {
+        workers_.push_back(std::make_unique<algo::FullSharingNode>(
+            0, std::move(model), std::move(sampler), train_config));
+      }
+    }
+    // All nodes start from the factory's identical x^(0,0): worker 0's
+    // fresh parameters ARE the shared base.
+    store_ = std::make_unique<NodeStateStore>(
+        n, workers_.front()->flat_params());
+    steps_done_.assign(n, 0);
+  } else {
+    nodes_.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      auto model = factory();
+      data::Sampler sampler(
+          train, partition[i], /*batch_size=*/
+          std::max<std::size_t>(
+              1, std::min<std::size_t>(kBatchCap, partition[i].size())),
+          core::derive_seed(config_.seed, i, 0, kSamplerStream),
+          sampler_mode);
+      const auto rank = static_cast<std::uint32_t>(i);
+      switch (config_.algorithm) {
+        case Algorithm::kFullSharing:
+          nodes_.push_back(std::make_unique<algo::FullSharingNode>(
+              rank, std::move(model), std::move(sampler), train_config));
+          break;
+        case Algorithm::kRandomSampling:
+          nodes_.push_back(std::make_unique<algo::RandomSamplingNode>(
+              rank, std::move(model), std::move(sampler), train_config,
+              config_.random_sampling_fraction, config_.seed));
+          break;
+        case Algorithm::kJwins:
+          nodes_.push_back(std::make_unique<algo::JwinsNode>(
+              rank, std::move(model), std::move(sampler), train_config,
+              config_.jwins));
+          break;
+        case Algorithm::kChoco:
+          nodes_.push_back(std::make_unique<algo::ChocoNode>(
+              rank, std::move(model), std::move(sampler), train_config,
+              config_.choco));
+          break;
+        case Algorithm::kPowerGossip:
+          nodes_.push_back(std::make_unique<algo::PowerGossipNode>(
+              rank, std::move(model), std::move(sampler), train_config,
+              config_.power_gossip));
+          break;
+      }
     }
   }
   // Staleness-weighted mixing (AsyncMode::kWeighted): nodes scale each
@@ -255,8 +347,86 @@ Experiment::Experiment(ExperimentConfig config, nn::ModelFactory factory,
   // very first round already runs without heap growth. Lanes are exclusive
   // (static chunking), so scratches are never shared between running calls.
   scratch_.resize(pool_.thread_count());
-  const std::size_t params = nodes_.front()->param_count();
+  const std::size_t params = compact() ? workers_.front()->param_count()
+                                       : nodes_.front()->param_count();
   for (core::RoundScratch& s : scratch_) s.reserve_for_model(params);
+}
+
+std::vector<std::uint32_t> Experiment::eval_sample_indices(std::uint64_t seed,
+                                                           std::size_t round,
+                                                           std::size_t nodes,
+                                                           std::size_t k) {
+  std::vector<std::uint32_t> out;
+  if (k >= nodes) {
+    out.resize(nodes);
+    for (std::size_t i = 0; i < nodes; ++i) {
+      out[i] = static_cast<std::uint32_t>(i);
+    }
+    return out;
+  }
+  // Rejection-sampled distinct draw from a counter stream keyed on the
+  // metric round alone: no topology, thread, or history input.
+  core::CounterRng rng(seed, 0, round, kEvalSampleStream);
+  std::vector<std::uint8_t> taken(nodes, 0);
+  out.reserve(k);
+  while (out.size() < k) {
+    const auto u = static_cast<std::uint32_t>(rng() % nodes);
+    if (!taken[u]) {
+      taken[u] = 1;
+      out.push_back(u);
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+double Experiment::mean_loss_over(
+    std::span<const float> losses, std::span<const std::uint32_t> population,
+    const std::function<bool(std::size_t)>& alive) {
+  double sum = 0.0;
+  std::size_t count = 0;
+  if (population.empty()) {
+    for (std::size_t i = 0; i < losses.size(); ++i) {
+      if (!alive(i)) continue;
+      sum += losses[i];
+      ++count;
+    }
+  } else {
+    for (const std::uint32_t i : population) {
+      if (!alive(i)) continue;
+      sum += losses[i];
+      ++count;
+    }
+  }
+  return count == 0 ? 0.0 : sum / static_cast<double>(count);
+}
+
+const std::vector<std::uint32_t>& Experiment::eval_subset(
+    std::size_t metric_round) {
+  if (subset_cache_round_ != metric_round) {
+    subset_cache_ = eval_sample_indices(config_.seed, metric_round, n_,
+                                        config_.eval_sample);
+    subset_cache_round_ = metric_round;
+  }
+  return subset_cache_;
+}
+
+const graph::MixingWeights& Experiment::mixing_weights(const graph::Graph& g,
+                                                       std::size_t t) {
+  const std::size_t epoch = topology_->round_epoch(t);
+  if (!mh_valid_ || mh_epoch_ != epoch) {
+    mh_cache_ = graph::metropolis_hastings(g);
+    mh_epoch_ = epoch;
+    mh_valid_ = true;
+  }
+  return mh_cache_;
+}
+
+void Experiment::bind_worker(algo::DlNode& w, std::size_t i) {
+  w.rebind(static_cast<std::uint32_t>(i), partition_[i],
+           core::derive_seed(config_.seed, i, 0, kSamplerStream),
+           steps_done_[i]);
+  w.set_flat_params(store_->view(i));
 }
 
 MetricPoint Experiment::evaluate(std::size_t round, double train_loss) {
@@ -266,34 +436,64 @@ MetricPoint Experiment::evaluate(std::size_t round, double train_loss) {
   point.sim_compute_seconds = network_.simulated_compute_seconds();
   point.sim_comm_seconds = network_.simulated_comm_seconds();
   point.train_loss = train_loss;
-  const std::size_t limit = config_.eval_node_limit == 0
-                                ? nodes_.size()
-                                : std::min(config_.eval_node_limit, nodes_.size());
+  // The metric population: the seeded per-round subset under eval_sample,
+  // the first-N prefix under eval_node_limit, every node otherwise (the two
+  // subset rules are mutually exclusive by validation).
+  const std::vector<std::uint32_t>* subset =
+      eval_sample_active() ? &eval_subset(round) : nullptr;
+  const std::size_t count =
+      subset ? subset->size()
+             : (config_.eval_node_limit == 0
+                    ? n_
+                    : std::min(config_.eval_node_limit, n_));
   // Ordered reduction: per-node metrics are computed in parallel but summed
   // in rank order, so the reported means are thread-count independent.
   nn::EvalMetrics sums;
   timed_phase(wall_.evaluate_seconds, [&] {
-    sums = pool_.parallel_reduce(
-        limit, nn::EvalMetrics{},
-        [&](std::size_t i) { return nodes_[i]->model().evaluate(eval_batch_); },
-        [](nn::EvalMetrics a, const nn::EvalMetrics& b) {
-          a.accuracy += b.accuracy;
-          a.loss += b.loss;
-          return a;
-        });
+    if (compact()) {
+      // Lane workers need a lane id, which parallel_reduce's map does not
+      // carry: materialize per-index metrics, then fold sequentially in
+      // index order — the exact summation order of the reduce below.
+      eval_buf_.assign(count, nn::EvalMetrics{});
+      pool_.parallel_for_lane(count, [&](unsigned lane, std::size_t j) {
+        const std::size_t node = subset ? (*subset)[j] : j;
+        algo::DlNode& w = *workers_[lane];
+        w.set_flat_params(store_->view(node));
+        eval_buf_[j] = w.model().evaluate(eval_batch_);
+      });
+      for (const nn::EvalMetrics& m : eval_buf_) {
+        sums.accuracy += m.accuracy;
+        sums.loss += m.loss;
+      }
+    } else {
+      sums = pool_.parallel_reduce(
+          count, nn::EvalMetrics{},
+          [&](std::size_t j) {
+            const std::size_t node = subset ? (*subset)[j] : j;
+            return nodes_[node]->model().evaluate(eval_batch_);
+          },
+          [](nn::EvalMetrics a, const nn::EvalMetrics& b) {
+            a.accuracy += b.accuracy;
+            a.loss += b.loss;
+            return a;
+          });
+    }
   });
-  point.test_accuracy = sums.accuracy / static_cast<double>(limit);
-  point.test_loss = sums.loss / static_cast<double>(limit);
+  point.test_accuracy = sums.accuracy / static_cast<double>(count);
+  point.test_loss = sums.loss / static_cast<double>(count);
   point.avg_bytes_per_node = network_.traffic().average_bytes_per_node();
   point.avg_metadata_bytes_per_node =
       static_cast<double>(network_.traffic().total().metadata_bytes_sent) /
-      static_cast<double>(nodes_.size());
+      static_cast<double>(n_);
   return point;
 }
 
 ExperimentResult Experiment::run() {
   if (config_.engine == EngineKind::kAsync) {
     return run_async();  // the discrete-event driver (event_engine.cpp)
+  }
+  if (compact()) {
+    return run_compact();  // lane workers over the COW state store
   }
   const auto run_start = std::chrono::steady_clock::now();
   ExperimentResult result;
@@ -314,7 +514,7 @@ ExperimentResult Experiment::run() {
     if (g.size() != n) {
       throw std::logic_error("Experiment: topology size != node count");
     }
-    const graph::MixingWeights weights = graph::metropolis_hastings(g);
+    const graph::MixingWeights& weights = mixing_weights(g, t);
 
     timed_phase(wall_.train_seconds, [&] {
       pool_.parallel_for(n, [&](std::size_t i) {
@@ -347,10 +547,21 @@ ExperimentResult Experiment::run() {
     }
 
     if (config_.algorithm == Algorithm::kJwins) {
-      for (std::size_t i = 0; i < n; ++i) {
-        if (!alive(i, t)) continue;  // crashed nodes drew no cut-off
-        alpha_sum_ += static_cast<algo::JwinsNode&>(*nodes_[i]).last_alpha();
-        ++alpha_samples_;
+      if (eval_sample_active()) {
+        // Sampled-population alpha accounting: the same seeded per-round
+        // subset the evaluation reduces over — mean_alpha stays an average
+        // over exactly the sampled nodes, not a k-node sum spread over n.
+        for (const std::uint32_t i : eval_subset(t + 1)) {
+          if (!alive(i, t)) continue;
+          alpha_sum_ += static_cast<algo::JwinsNode&>(*nodes_[i]).last_alpha();
+          ++alpha_samples_;
+        }
+      } else {
+        for (std::size_t i = 0; i < n; ++i) {
+          if (!alive(i, t)) continue;  // crashed nodes drew no cut-off
+          alpha_sum_ += static_cast<algo::JwinsNode&>(*nodes_[i]).last_alpha();
+          ++alpha_samples_;
+        }
       }
     }
 
@@ -363,18 +574,106 @@ ExperimentResult Experiment::run() {
                                 config_.stop_at_sim_time;
     const bool last_round = (t + 1 == config_.rounds) || budget_hit;
     if (t % config_.eval_every == 0 || last_round) {
-      // Mean over the nodes that actually trained this round: a crashed
-      // node's slot holds a stale (or never-written) loss, not a loss of
-      // this round. With no crash schedule this is the plain mean over n.
-      double mean_train_loss = 0.0;
-      std::size_t trained = 0;
-      for (std::size_t i = 0; i < n; ++i) {
-        if (!alive(i, t)) continue;
-        mean_train_loss += train_losses[i];
-        ++trained;
+      // Mean over the metric population that actually trained this round: a
+      // crashed node's slot holds a stale (or never-written) loss, not a
+      // loss of this round; under eval_sample the population is the seeded
+      // per-round subset and the divisor is ITS size (the off-by-population
+      // rule mean_loss_over pins). With neither, the plain mean over n.
+      const double mean_train_loss = mean_loss_over(
+          train_losses,
+          eval_sample_active() ? std::span<const std::uint32_t>(
+                                     eval_subset(t + 1))
+                               : std::span<const std::uint32_t>{},
+          [&](std::size_t i) { return alive(i, t); });
+      const MetricPoint point = evaluate(t + 1, mean_train_loss);
+      result.series.push_back(point);
+      if (config_.target_accuracy > 0.0 &&
+          point.test_accuracy >= config_.target_accuracy) {
+        result.reached_target = true;
+        break;
       }
-      mean_train_loss =
-          trained == 0 ? 0.0 : mean_train_loss / static_cast<double>(trained);
+    }
+    if (budget_hit) break;
+  }
+  collect_summary(result);
+  wall_.total_seconds +=
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - run_start)
+          .count();
+  result.wall = wall_;
+  return result;
+}
+
+ExperimentResult Experiment::run_compact() {
+  const auto run_start = std::chrono::steady_clock::now();
+  ExperimentResult result;
+  const std::size_t n = n_;
+  std::vector<float> train_losses(n, 0.0f);
+  const net::TimeModel& time_model = network_.time_model();
+  const bool crashes = time_model.has_crashes();
+  const auto alive = [&](std::size_t i, std::size_t t) {
+    return !crashes || time_model.node_alive(static_cast<std::uint32_t>(i), t);
+  };
+  for (std::size_t t = 0; t < config_.rounds; ++t) {
+    const graph::Graph& g = topology_->round_graph(t);
+    if (g.size() != n) {
+      throw std::logic_error("Experiment: topology size != node count");
+    }
+    const graph::MixingWeights& weights = mixing_weights(g, t);
+
+    // Fused train+share pass: one worker rebind covers both. share() reads
+    // only the sharing node's own state and every mailbox drain sorts
+    // canonically by (round, sender), so fusing the full engine's two
+    // barriers changes no bytes — it halves the rebind/copy traffic, which
+    // is the dominant per-round cost at 100k+ nodes. The whole fused pass
+    // books under train_seconds (share_seconds stays 0 on this engine).
+    timed_phase(wall_.train_seconds, [&] {
+      pool_.parallel_for_lane(n, [&](unsigned lane, std::size_t i) {
+        if (!alive(i, t)) return;  // frozen: no train, no send, no steps
+        algo::DlNode& w = *workers_[lane];
+        bind_worker(w, i);
+        train_losses[i] = w.local_train();
+        w.share(network_, g, weights, static_cast<std::uint32_t>(t),
+                scratch_[lane]);
+        w.flat_params_into(store_->slot(i));
+        // Advance the sampler-stream position only when the node actually
+        // trained: a crashed node resumes its stream where it froze, exactly
+        // like the full engine's stateful per-node sampler.
+        steps_done_[i] += config_.local_steps;
+      });
+    });
+    timed_phase(wall_.aggregate_seconds, [&] {
+      pool_.parallel_for_lane(n, [&](unsigned lane, std::size_t i) {
+        if (!alive(i, t)) return;
+        algo::DlNode& w = *workers_[lane];
+        bind_worker(w, i);
+        w.aggregate(network_, g, weights, static_cast<std::uint32_t>(t),
+                    scratch_[lane]);
+        w.flat_params_into(store_->slot(i));
+      });
+    });
+    network_.finish_round(config_.compute_seconds_per_round);
+    result.rounds_run = t + 1;
+
+    if (config_.lr_decay_every > 0 && (t + 1) % config_.lr_decay_every == 0) {
+      // Every simulated node follows the same schedule, so decay lives in
+      // the lane workers (the only optimizer state the compact engine has).
+      for (auto& worker : workers_) {
+        worker->set_learning_rate(static_cast<float>(
+            worker->learning_rate() * config_.lr_decay_factor));
+      }
+    }
+
+    const bool budget_hit = config_.stop_at_sim_time > 0.0 &&
+                            network_.simulated_seconds() >=
+                                config_.stop_at_sim_time;
+    const bool last_round = (t + 1 == config_.rounds) || budget_hit;
+    if (t % config_.eval_every == 0 || last_round) {
+      const double mean_train_loss = mean_loss_over(
+          train_losses,
+          eval_sample_active() ? std::span<const std::uint32_t>(
+                                     eval_subset(t + 1))
+                               : std::span<const std::uint32_t>{},
+          [&](std::size_t i) { return alive(i, t); });
       const MetricPoint point = evaluate(t + 1, mean_train_loss);
       result.series.push_back(point);
       if (config_.target_accuracy > 0.0 &&

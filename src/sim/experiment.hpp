@@ -19,8 +19,10 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <optional>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -35,6 +37,7 @@
 #include "net/network.hpp"
 #include "net/thread_pool.hpp"
 #include "nn/model.hpp"
+#include "sim/node_state.hpp"
 
 namespace jwins::sim {
 
@@ -85,6 +88,32 @@ enum class AsyncMode { kBarrier, kFree, kWeighted };
 
 const char* async_mode_name(AsyncMode mode);
 
+/// Per-node state layout of the synchronous engine:
+///
+///  * kFull — one DlNode object per simulated node (model, optimizer,
+///    sampler). The reference layout; every pre-existing result was
+///    produced under it.
+///  * kCompact — the 100k–1M-node memory diet: node state is a shared
+///    read-only base parameter vector plus a lazily-materialized per-node
+///    slot (sim::NodeStateStore), driven through one lane-worker DlNode per
+///    execution lane. Requires the counter batch sampler (rebindable
+///    streams) and a stateless-node algorithm; with both, results are
+///    byte-identical to kFull at any thread count.
+enum class NodeState { kFull, kCompact };
+
+const char* node_state_name(NodeState state);
+
+/// Mini-batch sampling discipline (data::Sampler::Mode):
+///  * kShuffle — per-epoch reshuffle of the node's shard (the legacy
+///    stateful loop; every pre-existing result used it);
+///  * kCounter — counter-keyed draws with replacement, a pure function of
+///    (node stream seed, step). Seekable/rebindable, hence required by
+///    NodeState::kCompact; also valid under kFull (same stream, so full and
+///    compact runs of the same config match byte for byte).
+enum class BatchSampler { kShuffle, kCounter };
+
+const char* batch_sampler_name(BatchSampler sampler);
+
 struct ExperimentConfig {
   Algorithm algorithm = Algorithm::kJwins;
   std::size_t rounds = 100;
@@ -111,6 +140,25 @@ struct ExperimentConfig {
   std::size_t eval_every = 10;
   std::size_t eval_sample_limit = 512;  ///< test subsample per evaluation
   std::size_t eval_node_limit = 0;      ///< 0 = evaluate every node
+
+  /// Sampled evaluation: when 0 < eval_sample < nodes, every evaluation
+  /// (test metrics, mean train loss, JWINS alpha accounting) reduces over a
+  /// seeded per-round subset of eval_sample nodes instead of all n — the
+  /// O(n)-per-eval fix the 100k–1M scale runs need. The draw is a pure
+  /// function of (seed, metric round, n, k) — Experiment::eval_sample_indices
+  /// — so it is thread-count invariant and independent of topology state.
+  /// 0 or k >= nodes disables sampling (byte-identical to the full reduce).
+  /// Mutually exclusive with eval_node_limit.
+  std::size_t eval_sample = 0;
+
+  /// Per-node state layout (see NodeState). kCompact trades generality for
+  /// memory: validate() enforces its restrictions (sync engine, counter
+  /// sampler, stateless-node algorithm, no byzantine/robust/momentum).
+  NodeState node_state = NodeState::kFull;
+
+  /// Mini-batch sampling discipline (see BatchSampler). The default keeps
+  /// every pre-existing result byte-identical.
+  BatchSampler batch_sampler = BatchSampler::kShuffle;
 
   /// Execution lanes for the per-node phases. Results are bit-identical at
   /// any value (see docs/DESIGN.md); 1 runs fully inline. Benches and
@@ -334,10 +382,31 @@ class Experiment {
 
   ExperimentResult run();
 
-  /// Direct access for tests and probes.
+  /// Direct access for tests and probes. node() requires the full node-state
+  /// layout (compact runs keep no per-node DlNode objects).
   algo::DlNode& node(std::size_t i) { return *nodes_.at(i); }
-  std::size_t node_count() const noexcept { return nodes_.size(); }
+  std::size_t node_count() const noexcept { return n_; }
   const net::Network& network() const noexcept { return network_; }
+
+  /// The seeded eval-subset draw: k distinct node indices for metric round
+  /// `round`, ascending. A pure function of (seed, round, nodes, k) — no
+  /// topology or thread-schedule input, so the subset survives topology
+  /// churn and is identical at any thread count. k >= nodes returns all
+  /// nodes. Exposed so tests reproduce the engine's draw exactly.
+  static std::vector<std::uint32_t> eval_sample_indices(std::uint64_t seed,
+                                                        std::size_t round,
+                                                        std::size_t nodes,
+                                                        std::size_t k);
+
+  /// Mean of `losses` over the metric population (`population` empty = all
+  /// indices), excluding nodes failing `alive` from the numerator AND the
+  /// denominator — the sampled-population accounting rule. An off-by-
+  /// population bug (k-node sum divided by n) cannot hide here: this is the
+  /// single mean both engines report as train_loss. Pure; exposed for the
+  /// accounting tests.
+  static double mean_loss_over(std::span<const float> losses,
+                               std::span<const std::uint32_t> population,
+                               const std::function<bool(std::size_t)>& alive);
 
  private:
   /// The discrete-event driver (sim/event_engine.hpp) runs the same nodes,
@@ -347,9 +416,27 @@ class Experiment {
   MetricPoint evaluate(std::size_t round, double train_loss);
   /// Asynchronous-engine entry point (implemented in event_engine.cpp).
   ExperimentResult run_async();
+  /// Compact node-state round loop (NodeState::kCompact).
+  ExperimentResult run_compact();
   /// Shared end-of-run bookkeeping: final metrics, traffic totals, and the
   /// sim_time summary (identical operations under both engines).
   void collect_summary(ExperimentResult& result);
+
+  bool compact() const noexcept {
+    return config_.node_state == NodeState::kCompact;
+  }
+  bool eval_sample_active() const noexcept {
+    return config_.eval_sample > 0 && config_.eval_sample < n_;
+  }
+  /// The (cached) subset for one metric round; only called when active.
+  const std::vector<std::uint32_t>& eval_subset(std::size_t metric_round);
+  /// Metropolis-Hastings weights of round t, cached per topology epoch so
+  /// static/slow-churn topologies stop recomputing O(n) weights every round.
+  const graph::MixingWeights& mixing_weights(const graph::Graph& g,
+                                             std::size_t t);
+  /// Points lane-worker `w` at simulated node `i`: rank, shard, sampler
+  /// stream position, and parameters from the state store (compact only).
+  void bind_worker(algo::DlNode& w, std::size_t i);
 
   ExperimentConfig config_;
   const data::Dataset* test_;
@@ -361,6 +448,22 @@ class Experiment {
   /// processes (see docs/PERFORMANCE.md "Memory model of the round loop").
   std::vector<core::RoundScratch> scratch_;
   std::vector<std::unique_ptr<algo::DlNode>> nodes_;
+  std::size_t n_ = 0;  ///< simulated node count (nodes_.size() under kFull)
+  /// Compact node-state machinery (empty under kFull): the COW parameter
+  /// store, one lane-worker DlNode per execution lane, the retained
+  /// partition for worker rebinds, and each node's sampler-stream position
+  /// (advanced only on rounds the node is alive, mirroring kFull's
+  /// per-node samplers under crash schedules).
+  std::unique_ptr<NodeStateStore> store_;
+  std::vector<std::unique_ptr<algo::DlNode>> workers_;
+  data::Partition partition_;
+  std::vector<std::uint64_t> steps_done_;
+  std::vector<nn::EvalMetrics> eval_buf_;  ///< compact eval scratch
+  graph::MixingWeights mh_cache_;
+  std::size_t mh_epoch_ = 0;
+  bool mh_valid_ = false;
+  std::vector<std::uint32_t> subset_cache_;
+  std::size_t subset_cache_round_ = static_cast<std::size_t>(-1);
   nn::Batch eval_batch_;
   double alpha_sum_ = 0.0;
   std::size_t alpha_samples_ = 0;

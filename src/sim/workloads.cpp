@@ -12,6 +12,44 @@ std::size_t scaled(std::size_t base, double scale) {
                                       static_cast<double>(base) * scale));
 }
 
+/// The scale workload's model: MlpClassifier's construction with a Flatten
+/// in front, so the rank-4 SyntheticImages batches feed the Linear stack
+/// directly. Kept local (not a nn/ model) — it exists only to give the
+/// 100k–1M-node runs a ~50-parameter SupervisedModel.
+class ScaleMlp final : public nn::SupervisedModel {
+ public:
+  explicit ScaleMlp(std::uint32_t seed) {
+    std::mt19937 rng(seed);
+    net_.emplace<nn::Flatten>();
+    net_.emplace<nn::Linear>(kFeatures, kHidden, rng);
+    net_.emplace<nn::ReLU>();
+    net_.emplace<nn::Linear>(kHidden, kClasses, rng);
+  }
+
+  float loss_and_grad(const nn::Batch& batch) override {
+    nn::Tensor logits = net_.forward(batch.x);
+    nn::LossResult lr = nn::softmax_cross_entropy(logits, batch.labels);
+    net_.backward(lr.grad);
+    return lr.loss;
+  }
+
+  nn::EvalMetrics evaluate(const nn::Batch& batch) override {
+    nn::Tensor logits = net_.forward(batch.x);
+    nn::LossResult lr = nn::softmax_cross_entropy(logits, batch.labels);
+    return {lr.loss, nn::accuracy(logits, batch.labels), batch.size()};
+  }
+
+  std::vector<nn::Tensor*> parameters() override { return net_.params(); }
+  std::vector<nn::Tensor*> gradients() override { return net_.grads(); }
+
+  static constexpr std::size_t kFeatures = 4;  ///< 1 channel x 2x2 images
+  static constexpr std::size_t kHidden = 8;
+  static constexpr std::size_t kClasses = 2;
+
+ private:
+  nn::Sequential net_;
+};
+
 }  // namespace
 
 Workload make_cifar_like(std::size_t nodes, std::uint32_t seed, double scale) {
@@ -199,6 +237,35 @@ Workload make_femnist_like(std::size_t nodes, std::uint32_t seed, double scale) 
   return w;
 }
 
+Workload make_scale_like(std::size_t nodes, std::uint32_t seed, double scale) {
+  data::SyntheticImages::Config train_cfg;
+  train_cfg.classes = ScaleMlp::kClasses;
+  train_cfg.channels = 1;
+  train_cfg.image_size = 2;
+  // Fixed pool, NOT nodes-proportional: the whole point is that dataset
+  // construction stays O(1) as the node count climbs to a million.
+  train_cfg.samples = scaled(256, scale);
+  train_cfg.noise = 1.0f;
+  train_cfg.seed = seed;
+  train_cfg.sample_seed = seed + 101;
+  auto train = std::make_shared<data::SyntheticImages>(train_cfg);
+
+  data::SyntheticImages::Config test_cfg = train_cfg;
+  test_cfg.samples = scaled(64, scale);
+  test_cfg.sample_seed = seed + 202;
+  auto test = std::make_shared<data::SyntheticImages>(test_cfg);
+
+  Workload w;
+  w.name = "scale";
+  w.train = train;
+  w.test = test;
+  w.partition = data::cyclic_partition(train->size(), nodes, /*per_node=*/2);
+  w.suggested_lr = 0.05f;
+  w.suggested_local_steps = 1;
+  w.model_factory = [seed] { return std::make_unique<ScaleMlp>(seed); };
+  return w;
+}
+
 Workload make_workload(const std::string& name, std::size_t nodes,
                        std::uint32_t seed, double scale) {
   if (name == "cifar") return make_cifar_like(nodes, seed, scale);
@@ -206,12 +273,13 @@ Workload make_workload(const std::string& name, std::size_t nodes,
   if (name == "shakespeare") return make_shakespeare_like(nodes, seed, scale);
   if (name == "celeba") return make_celeba_like(nodes, seed, scale);
   if (name == "femnist") return make_femnist_like(nodes, seed, scale);
+  if (name == "scale") return make_scale_like(nodes, seed, scale);
   throw std::invalid_argument("unknown workload: " + name);
 }
 
 const std::vector<std::string>& workload_names() {
   static const std::vector<std::string> names{
-      "cifar", "movielens", "shakespeare", "celeba", "femnist"};
+      "cifar", "movielens", "shakespeare", "celeba", "femnist", "scale"};
   return names;
 }
 

@@ -52,12 +52,21 @@ Workload make_femnist_like(std::size_t nodes, std::uint32_t seed,
 Workload make_cifar_like_4shard(std::size_t nodes, std::uint32_t seed,
                                 double scale = 1.0);
 
+/// Million-node scaling workload: a tiny 2-class image task (4 features, a
+/// ~50-parameter MLP) over a FIXED-size sample pool dealt out cyclically —
+/// dataset cost is O(1) in the node count and partitioning is O(nodes), so
+/// building the workload never dominates a 100k–1M-node run. Not a paper
+/// dataset; exists purely so the scale/shard suite and the scaling-curve
+/// bench have a workload whose cost is all engine, no data.
+Workload make_scale_like(std::size_t nodes, std::uint32_t seed,
+                         double scale = 1.0);
+
 /// Dispatch by name ("cifar", "movielens", "shakespeare", "celeba",
-/// "femnist").
+/// "femnist", "scale").
 Workload make_workload(const std::string& name, std::size_t nodes,
                        std::uint32_t seed, double scale = 1.0);
 
-/// The five names in paper order.
+/// The five paper names in paper order, then "scale".
 const std::vector<std::string>& workload_names();
 
 }  // namespace jwins::sim

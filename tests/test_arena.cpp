@@ -28,6 +28,7 @@
 #include "sim/experiment.hpp"
 #include "sim/report.hpp"
 #include "sim/workloads.hpp"
+#include "test_util.hpp"
 
 namespace jwins {
 namespace {
@@ -472,6 +473,7 @@ TEST(ArenaDeterminism, EngineJsonByteIdenticalAcrossThreadCounts) {
 
 #include <atomic>
 #include <cstdlib>
+#include <malloc.h>
 #include <new>
 
 #include "nn/models.hpp"
@@ -479,18 +481,38 @@ TEST(ArenaDeterminism, EngineJsonByteIdenticalAcrossThreadCounts) {
 
 namespace {
 std::atomic<std::uint64_t> g_test_alloc_count{0};
+// Net bytes currently held through this hook (usable size, so it matches
+// what the heap actually charges). test_scale.cpp's per-node memory pin
+// reads it through testutil::live_heap_bytes().
+std::atomic<std::int64_t> g_test_live_bytes{0};
 }  // namespace
+
+std::int64_t jwins::testutil::live_heap_bytes() noexcept {
+  return g_test_live_bytes.load(std::memory_order_relaxed);
+}
 
 void* operator new(std::size_t size) {
   g_test_alloc_count.fetch_add(1, std::memory_order_relaxed);
-  if (void* p = std::malloc(size)) return p;
+  if (void* p = std::malloc(size)) {
+    g_test_live_bytes.fetch_add(
+        static_cast<std::int64_t>(malloc_usable_size(p)),
+        std::memory_order_relaxed);
+    return p;
+  }
   throw std::bad_alloc();
 }
 void* operator new[](std::size_t size) { return ::operator new(size); }
-void operator delete(void* p) noexcept { std::free(p); }
-void operator delete[](void* p) noexcept { std::free(p); }
-void operator delete(void* p, std::size_t) noexcept { std::free(p); }
-void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p) noexcept {
+  if (p) {
+    g_test_live_bytes.fetch_sub(
+        static_cast<std::int64_t>(malloc_usable_size(p)),
+        std::memory_order_relaxed);
+  }
+  std::free(p);
+}
+void operator delete[](void* p) noexcept { ::operator delete(p); }
+void operator delete(void* p, std::size_t) noexcept { ::operator delete(p); }
+void operator delete[](void* p, std::size_t) noexcept { ::operator delete(p); }
 
 namespace jwins {
 namespace {
@@ -534,5 +556,9 @@ TEST(LstmArena, SteadyStateTrainStepAllocationBound) {
 
 }  // namespace
 }  // namespace jwins
+
+#else  // !JWINS_TEST_ALLOC_HOOK
+
+std::int64_t jwins::testutil::live_heap_bytes() noexcept { return -1; }
 
 #endif  // JWINS_TEST_ALLOC_HOOK

@@ -3,12 +3,20 @@
 // dataset to drive it through the Sampler machinery.
 #pragma once
 
+#include <cstdint>
 #include <memory>
 
 #include "data/dataset.hpp"
 #include "nn/model.hpp"
 
 namespace jwins::testutil {
+
+/// Live heap bytes currently held through the global operator new, tracked
+/// by test_arena.cpp's counting-allocator hook (the single new/delete
+/// replacement the test binary is allowed). Returns -1 when the hook is
+/// compiled out (sanitized builds replace the allocator themselves) — memory
+/// pin tests must GTEST_SKIP on that value.
+std::int64_t live_heap_bytes() noexcept;
 
 /// f_i(x) = 0.5 ||x - c_i||^2. The global objective (1/n) sum f_i is
 /// minimized at mean(c_i), so D-PSGD variants can be checked for convergence
